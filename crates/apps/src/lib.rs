@@ -1,0 +1,43 @@
+//! # essio-apps — the three NASA ESS workloads
+//!
+//! Paper §3.3 selects "three representative parallel applications from the
+//! NASA ESS domain": a piece-wise parabolic method (PPM) astrophysics code
+//! \[14\], a wavelet decomposition code used for Landsat imagery \[15\], and an
+//! oct-tree N-body code \[16\]. This crate implements all three *for real* —
+//! actual numerics with testable invariants — against the simulated kernel
+//! and PVM layers:
+//!
+//! * [`ppm`] — a compressible-gas-dynamics solver using piecewise parabolic
+//!   reconstruction with an HLL Riemann solver and dimensional splitting on
+//!   logically rectangular grids (the paper's: four 240×480 grids/node);
+//!   ring halo exchange over PVM each step; tiny statistical output.
+//! * [`wavelet`] — multi-level 2-D separable wavelet decomposition (Haar
+//!   and Daubechies-4) of a 512×512 byte image streamed from the local
+//!   disk; coefficient statistics reduced over PVM; compressed coefficients
+//!   written back.
+//! * [`nbody`] — a Barnes–Hut oct-tree code: Plummer-sphere initial
+//!   conditions, multipole acceptance criterion, leapfrog integration,
+//!   per-step exchange of top-level cell summaries; summary-only output.
+//!
+//! ## Scaling discipline (see DESIGN.md substitution table)
+//!
+//! Two knobs are deliberately decoupled in every workload config:
+//!
+//! 1. **Numerical size** (grid cells, particles, image size) — scaled down
+//!    by default so the full five-experiment suite simulates in seconds;
+//!    the math is identical at any size and is what the unit/property tests
+//!    verify (conservation, perfect reconstruction, force symmetry).
+//! 2. **I/O-relevant behaviour** — memory *footprint* pages, text image
+//!    size, output cadence/bytes, and virtual CPU time per unit of work —
+//!    kept at paper scale, because these are what generate the measured
+//!    disk workload (paging bursts, read spikes, summary writes at the
+//!    paper's timestamps).
+
+#![warn(missing_docs)]
+
+pub mod nbody;
+pub mod ppm;
+pub mod runtime;
+pub mod wavelet;
+
+pub use runtime::{AppCall, AppCtx, AppReply, CtxExt, PagedRegion, SimFile};

@@ -1,0 +1,38 @@
+//! Read-ahead bookkeeping throughput (it sits on every read syscall).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essio_kernel::readahead::{ReadAhead, WINDOW_CAP};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("readahead");
+
+    g.bench_function("sequential_stream_1k_reads", |b| {
+        b.iter(|| {
+            let mut ra = ReadAhead::new();
+            let mut prefetched = 0u64;
+            for i in 0..1_000u64 {
+                if let Some(p) = ra.on_read(i * 1024, 1024, WINDOW_CAP) {
+                    prefetched += p.blocks as u64;
+                }
+            }
+            black_box(prefetched)
+        })
+    });
+
+    g.bench_function("random_stream_resets", |b| {
+        b.iter(|| {
+            let mut ra = ReadAhead::new();
+            let mut state = 9u64;
+            for _ in 0..1_000 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                black_box(ra.on_read(state % 1_000_000, 1024, WINDOW_CAP));
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

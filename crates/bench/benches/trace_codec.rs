@@ -1,0 +1,22 @@
+//! Trace serialization throughput (binary, CSV, JSON).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use essio_bench::synthetic_trace;
+use essio_trace::codec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = synthetic_trace(100_000);
+    let encoded = codec::encode(&records);
+
+    let mut g = c.benchmark_group("trace_codec");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("encode_binary", |b| b.iter(|| black_box(codec::encode(black_box(&records)))));
+    g.bench_function("decode_binary", |b| b.iter(|| black_box(codec::decode(black_box(&encoded)).unwrap())));
+    g.bench_function("to_csv", |b| b.iter(|| black_box(codec::to_csv(black_box(&records[..10_000])))));
+    g.bench_function("to_json", |b| b.iter(|| black_box(codec::to_json(black_box(&records[..10_000])).unwrap())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! The paper's perturbation claim: "I/O instrumentation did not measurably
+//! change the execution time of any of the applications."
+//!
+//! We check both directions: the *virtual* run time of an experiment with
+//! instrumentation Off vs Full (identical by construction — the trace hook
+//! is off the timing path), and the *host-side* cost of the trace hook
+//! itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essio::prelude::*;
+use essio_trace::{InstrumentationLevel, Op, Origin, TraceBuffer, TraceRecord};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Virtual-time perturbation check (run once; reported, not timed).
+    let run = |level: InstrumentationLevel| {
+        let mut e = Experiment::nbody().quick().seed(3);
+        e.cluster.instrumentation = level;
+        e.cluster.spool_trace = false; // isolate the hook itself
+        let r = e.run();
+        (r.duration, r.exits.iter().map(|x| x.at).max().unwrap_or(0))
+    };
+    let (d_off, exit_off) = run(InstrumentationLevel::Off);
+    let (d_full, exit_full) = run(InstrumentationLevel::Full);
+    eprintln!(
+        "[perturbation] virtual run time with tracing off {:.3}s vs full {:.3}s (last exit {:.3}s vs {:.3}s)",
+        d_off as f64 / 1e6,
+        d_full as f64 / 1e6,
+        exit_off as f64 / 1e6,
+        exit_full as f64 / 1e6
+    );
+    assert_eq!(exit_off, exit_full, "the trace hook must sit off the timing path");
+
+    let mut g = c.benchmark_group("tracer_overhead");
+    let rec = TraceRecord {
+        ts: 123,
+        sector: 45_000,
+        nsectors: 2,
+        pending: 3,
+        node: 0,
+        op: Op::Write,
+        origin: Origin::Log,
+    };
+    for level in [InstrumentationLevel::Off, InstrumentationLevel::Basic, InstrumentationLevel::Full] {
+        g.bench_function(format!("log_hook_{level:?}"), |b| {
+            let mut buf = TraceBuffer::new(1 << 16);
+            buf.set_level(level);
+            b.iter(|| black_box(buf.log(black_box(rec))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

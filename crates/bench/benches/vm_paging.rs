@@ -1,0 +1,50 @@
+//! VM paging throughput: resident hits, zero-fill faults, eviction churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essio_disk::DiskLayout;
+use essio_kernel::vm::{TouchResult, Vm};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_paging");
+
+    g.bench_function("resident_hit", |b| {
+        let mut vm = Vm::new(64, &DiskLayout::beowulf_500mb());
+        let base = vm.map_anon(1, 4);
+        vm.touch(1, base);
+        b.iter(|| black_box(vm.touch(1, black_box(base))))
+    });
+
+    g.bench_function("zero_fill_4k_pages", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(8192, &DiskLayout::beowulf_500mb());
+            let base = vm.map_anon(1, 4096);
+            for p in 0..4096u64 {
+                black_box(vm.touch(1, base + p));
+            }
+        })
+    });
+
+    g.bench_function("thrash_2x_overcommit", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(512, &DiskLayout::beowulf_500mb());
+            let base = vm.map_anon(1, 1024);
+            let mut swap_io = 0u64;
+            for round in 0..4u64 {
+                for p in 0..1024 {
+                    match vm.touch(1, base + p) {
+                        TouchResult::Fault { swap_outs, .. } => swap_io += 1 + swap_outs.len() as u64,
+                        TouchResult::Hit => {}
+                        other => panic!("{other:?} in round {round}"),
+                    }
+                }
+            }
+            black_box(swap_io)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation sweeps over the design choices DESIGN.md calls out.
+//!
+//! Each ablation reruns the wavelet experiment (the most I/O-diverse one)
+//! with one mechanism changed, and prints the metric that mechanism is
+//! responsible for:
+//!
+//! * read-ahead on/off — source of the ≥8 KB request class;
+//! * elevator vs FIFO — disk busy time under the same workload;
+//! * buffer cache size — physical write count (write absorption);
+//! * frame pool size — 4 KB paging volume.
+
+use essio::prelude::*;
+use essio_trace::analysis::SizeClass;
+use essio_trace::Op;
+
+fn run(mutate: impl FnOnce(&mut Experiment)) -> ExperimentResult {
+    let mut e = Experiment::wavelet().quick().seed(99);
+    mutate(&mut e);
+    e.run()
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let base = if full {
+        Experiment::wavelet().seed(99).run()
+    } else {
+        run(|_| {})
+    };
+
+    println!("== read-ahead ablation ==");
+    let no_ra = if full {
+        let mut e = Experiment::wavelet().seed(99);
+        e.cluster.readahead = false;
+        e.run()
+    } else {
+        run(|e| e.cluster.readahead = false)
+    };
+    let big = |r: &ExperimentResult| {
+        r.trace.iter().filter(|t| t.op == Op::Read && t.bytes() >= 8192).count()
+    };
+    println!("  >=8KB reads: with read-ahead {}, without {}", big(&base), big(&no_ra));
+    let reads = |r: &ExperimentResult| r.trace.iter().filter(|t| t.op == Op::Read && t.origin == essio_trace::Origin::FileData).count();
+    println!("  file-data read requests: with {}, without {}", reads(&base), reads(&no_ra));
+
+    println!("== scheduler ablation (elevator vs FIFO) ==");
+    let fifo = run(|e| e.cluster.sched = essio_disk::SchedPolicy::Fifo);
+    let elev = run(|e| e.cluster.sched = essio_disk::SchedPolicy::Elevator);
+    println!(
+        "  requests: elevator {}, fifo {} (same workload; scheduling changes service order/latency, not demand)",
+        elev.trace.len(),
+        fifo.trace.len()
+    );
+
+    println!("== buffer cache size sweep ==");
+    for blocks in [256usize, 1536, 4096] {
+        let r = run(|e| e.cluster.cache_blocks = blocks);
+        let writes = r.trace.iter().filter(|t| t.op == Op::Write).count();
+        println!("  {blocks:>5} blocks -> {} physical writes", writes);
+    }
+
+    println!("== frame pool sweep (paging pressure) ==");
+    for frames in [2048u32, 3072, 4096] {
+        let r = run(|e| e.cluster.frames_user = frames);
+        let pages = r.summary.sizes.count(SizeClass::Page4K);
+        println!("  {frames:>5} frames -> {} 4KB paging requests", pages);
+    }
+}

@@ -1,0 +1,46 @@
+//! Run one experiment by name and print its full characterization report.
+//!
+//! Usage: `experiment <baseline|ppm|wavelet|nbody|combined> [--full] [--json]`
+
+use essio::prelude::*;
+
+fn main() {
+    let mut which = None;
+    let mut full = false;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--json" => json = true,
+            name => which = Some(name.to_string()),
+        }
+    }
+    let which = which.unwrap_or_else(|| "baseline".into());
+    let e = match which.as_str() {
+        "baseline" => Experiment::baseline(),
+        "ppm" => Experiment::ppm(),
+        "wavelet" => Experiment::wavelet(),
+        "nbody" => Experiment::nbody(),
+        "combined" => Experiment::combined(),
+        other => {
+            eprintln!("unknown experiment {other}");
+            std::process::exit(2);
+        }
+    };
+    let e = if full { e } else { e.quick() };
+    let t0 = std::time::Instant::now();
+    let r = e.run();
+    eprintln!("host time: {:.2?}", t0.elapsed());
+    eprintln!(
+        "virtual duration: {:.1}s  records: {}  clean exits: {}",
+        r.duration_s(),
+        r.trace.len(),
+        r.all_clean()
+    );
+    if json {
+        println!("{}", serde_json::to_string_pretty(&r.summary).expect("summary serializes"));
+    } else {
+        println!("{}", r.table1_row());
+        println!("{}", r.summary.report(&which));
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 1: baseline I/O requests — sector vs time scatter.
+//!
+//! Paper §4.1: horizontal lines of 1 KB requests from logging and table
+//! activity, at low and high sector numbers, ~0.9 req/s per disk.
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let r = cli.run(ExperimentKind::Baseline);
+    let fig = figures::fig1(&r);
+    cli.emit(&fig);
+    println!();
+    println!("{}", r.table1_row());
+    println!(
+        "predominant request size: {} bytes (paper: 1 KB block size)",
+        r.summary.sizes.histogram.mode().unwrap_or(0)
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 2: PPM request sizes over time.
+//!
+//! Paper §4.2: "relatively low [I/O] with no paging activity ... except
+//! briefly toward the end"; prevalent 1 KB block requests, a 4 KB page
+//! request near the end of the ~240 s run.
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let r = cli.run(ExperimentKind::Ppm);
+    let fig = figures::fig2(&r);
+    cli.emit(&fig);
+    println!();
+    print!("{}", essio::figures::render_size_histogram(&r.summary.sizes, 50));
+    println!("{}", r.summary.sizes.report());
+    println!("{}", r.table1_row());
+}

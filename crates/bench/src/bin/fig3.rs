@@ -1,0 +1,32 @@
+//! Figure 3: wavelet request sizes over time.
+//!
+//! Paper §4.2: a startup paging burst (4 KB requests) from the large
+//! program and data spaces, a read spike with requests approaching 16 KB
+//! when the image streams in, then a computation lull.
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+use essio_trace::analysis::{phases, series};
+
+fn main() {
+    let cli = Cli::parse();
+    let r = cli.run(ExperimentKind::Wavelet);
+    let fig = figures::fig3(&r);
+    cli.emit(&fig);
+    println!();
+    // Narrate the phases the paper reads off this figure.
+    let node = r.node_trace(essio::figures::FIGURE_NODE);
+    let segs = phases::segment(&node, r.duration_s(), &phases::PhaseConfig::default());
+    println!("automatic phase narrative (the paper's §4.2 reading of this figure):");
+    print!("{}", phases::narrate(&segs));
+    let bins = series::binned(&node, 5.0, r.duration_s());
+    if let Some(peak) = series::peak_bytes_bin(&bins) {
+        println!("read spike: bin at {:.0}s moves {} KB (paper: ~50s, ~16KB requests)", peak.t0, peak.bytes / 1024);
+    }
+    if let Some(lull) = phases::longest_of(&segs, phases::PhaseKind::Quiet) {
+        println!("computation lull: {:.0}s..{:.0}s", lull.start_s, lull.end_s);
+    }
+    println!("{}", r.summary.sizes.report());
+    println!("{}", r.table1_row());
+}

@@ -1,0 +1,24 @@
+//! Figure 4: N-body request sizes over time.
+//!
+//! Paper §4.2: consistent 1 KB block I/O with more 2 KB requests and a few
+//! page swaps compared to PPM; overall much less activity than wavelet.
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+use essio_trace::analysis::SizeClass;
+
+fn main() {
+    let cli = Cli::parse();
+    let r = cli.run(ExperimentKind::Nbody);
+    let fig = figures::fig4(&r);
+    cli.emit(&fig);
+    println!();
+    println!(
+        "2K requests: {}  3K: {}  4K(page): {}",
+        r.summary.sizes.count(SizeClass::B2K),
+        r.summary.sizes.count(SizeClass::B3K),
+        r.summary.sizes.count(SizeClass::Page4K),
+    );
+    println!("{}", r.table1_row());
+}

@@ -1,0 +1,25 @@
+//! Figure 5: combined-workload request sizes over time.
+//!
+//! Paper §4.3: 1 KB requests maintained throughout, a much higher
+//! occurrence of 4 KB requests, and 16–32 KB transfers when the wavelet
+//! image is read under the increased multiprogramming I/O buffer size.
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+use essio_trace::analysis::SizeClass;
+
+fn main() {
+    let cli = Cli::parse();
+    let r = cli.run(ExperimentKind::Combined);
+    let fig = figures::fig5(&r);
+    cli.emit(&fig);
+    println!();
+    println!(
+        "over-16KB transfers: {} (paper: 16-32 KB range under combined load)",
+        r.summary.sizes.count(SizeClass::Over16K)
+    );
+    print!("{}", essio::figures::render_size_histogram(&r.summary.sizes, 50));
+    println!("{}", r.summary.sizes.report());
+    println!("{}", r.table1_row());
+}

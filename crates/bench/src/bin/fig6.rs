@@ -1,0 +1,22 @@
+//! Figure 6: combined-workload I/O requests — sector vs time.
+//!
+//! Paper §4.3: "a correspondingly higher amount of request activity,
+//! primarily in the lower sector numbers", clumped in the periods of
+//! greater request activity of Figure 5.
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let r = cli.run(ExperimentKind::Combined);
+    let fig = figures::fig6(&r);
+    cli.emit(&fig);
+    println!();
+    let below_400k = r.trace.iter().filter(|t| t.sector < 400_000).count();
+    println!(
+        "requests below sector 400,000: {:.1}% (paper: activity primarily at lower sectors)",
+        below_400k as f64 * 100.0 / r.trace.len().max(1) as f64
+    );
+}

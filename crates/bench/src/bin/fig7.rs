@@ -1,0 +1,26 @@
+//! Figure 7: spatial locality — % of requests per 100 K-sector band.
+//!
+//! Paper §4.3/§5: low-sector bands dominate (programs, data, swap, kernel
+//! files live there); the distribution "almost follows the [80/20] rule".
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let r = cli.run(ExperimentKind::Combined);
+    let spatial = figures::fig7(&r);
+    print!("{}", spatial.report());
+    println!(
+        "pareto check: top 20% of bands carry {:.1}% of requests (gini {:.3})",
+        spatial.top20_fraction * 100.0,
+        spatial.gini
+    );
+    if cli.tsv {
+        println!("band_start\trequests\tpct");
+        for b in &spatial.bands {
+            println!("{}\t{}\t{:.3}", b.start, b.requests, b.pct);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 8: temporal locality — per-sector access frequency.
+//!
+//! Paper §4.3: hot spots at ≈ sector 45,000 (system log) and just under
+//! 400,000 (top of the swap area), averaged over the ~700 s combined run.
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let r = cli.run(ExperimentKind::Combined);
+    let temporal = figures::fig8(&r);
+    print!("{}", temporal.report());
+    if let Some(h) = temporal.hottest() {
+        println!("hottest sector: {} at {:.3}/s (paper: ~45,000)", h.sector, h.freq_per_sec);
+    }
+    if let Some(h) = temporal.hottest_in(300_000, 400_000) {
+        println!("hottest swap sector: {} (paper: just under 400,000)", h.sector);
+    }
+    if cli.tsv {
+        println!("sector\taccesses\tfreq_per_s");
+        for h in &temporal.hot_spots {
+            println!("{}\t{}\t{:.4}", h.sector, h.accesses, h.freq_per_sec);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Regenerate every figure and table in one run, writing TSV data files to
+//! `target/paper/` and printing the terminal plots.
+//!
+//! Usage: `paper [--full]` (quick 2-node scale by default).
+
+use std::fs;
+use std::path::PathBuf;
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let out_dir = PathBuf::from("target/paper");
+    fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let baseline = cli.run(ExperimentKind::Baseline);
+    let ppm = cli.run(ExperimentKind::Ppm);
+    let wavelet = cli.run(ExperimentKind::Wavelet);
+    let nbody = cli.run(ExperimentKind::Nbody);
+    let combined = cli.run(ExperimentKind::Combined);
+
+    let scatters = [
+        ("fig1", figures::fig1(&baseline)),
+        ("fig2", figures::fig2(&ppm)),
+        ("fig3", figures::fig3(&wavelet)),
+        ("fig4", figures::fig4(&nbody)),
+        ("fig5", figures::fig5(&combined)),
+        ("fig6", figures::fig6(&combined)),
+    ];
+    for (name, fig) in &scatters {
+        fs::write(out_dir.join(format!("{name}.tsv")), fig.to_tsv()).expect("write tsv");
+        println!("{}", fig.to_ascii(100, 24));
+    }
+
+    let spatial = figures::fig7(&combined);
+    print!("{}", spatial.report());
+    let mut tsv = String::from("band_start\trequests\tpct\n");
+    for b in &spatial.bands {
+        tsv.push_str(&format!("{}\t{}\t{:.3}\n", b.start, b.requests, b.pct));
+    }
+    fs::write(out_dir.join("fig7.tsv"), tsv).expect("write fig7");
+
+    let temporal = figures::fig8(&combined);
+    print!("{}", temporal.report());
+    let mut tsv = String::from("sector\taccesses\tfreq_per_s\n");
+    for h in &temporal.hot_spots {
+        tsv.push_str(&format!("{}\t{}\t{:.4}\n", h.sector, h.accesses, h.freq_per_sec));
+    }
+    fs::write(out_dir.join("fig8.tsv"), tsv).expect("write fig8");
+
+    let refs = [&baseline, &ppm, &wavelet, &nbody, &combined];
+    let table = figures::table1(&refs);
+    println!("Table 1. I/O Requests (average per disk)");
+    println!("{table}");
+    fs::write(out_dir.join("table1.txt"), &table).expect("write table1");
+
+    // The paper's "next step": fit + validate the workload parameter set.
+    let model = WorkloadModel::fit(&combined.trace, combined.duration);
+    let synthetic = model.synthesize(1, combined.duration_s());
+    let v = model.validate(&synthetic, combined.duration);
+    println!(
+        "workload model: rate {:.2}/s, reads {:.0}%, validation acceptable={} (rate err {:.1}%, read-frac err {:.3})",
+        model.rate_per_s,
+        model.read_fraction * 100.0,
+        v.acceptable(),
+        v.rate_rel_err * 100.0,
+        v.read_frac_err
+    );
+    fs::write(out_dir.join("workload_model.json"), model.to_json()).expect("write model");
+
+    println!("TSV data written to {}", out_dir.display());
+}

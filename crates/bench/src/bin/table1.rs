@@ -1,0 +1,28 @@
+//! Table 1: reads/writes mix, request rate and totals per experiment
+//! (average per disk).
+//!
+//! Paper values: Baseline 0%/100% @ 0.9 req/s (1782 total over 2000 s);
+//! PPM 4%/96%; Wavelet 49%/51%; N-Body 13%/87%.
+
+use essio::figures;
+use essio::prelude::*;
+use essio_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let results: Vec<ExperimentResult> = [
+        ExperimentKind::Baseline,
+        ExperimentKind::Ppm,
+        ExperimentKind::Wavelet,
+        ExperimentKind::Nbody,
+        ExperimentKind::Combined,
+    ]
+    .into_iter()
+    .map(|k| cli.run(k))
+    .collect();
+    let refs: Vec<&ExperimentResult> = results.iter().collect();
+    println!("Table 1. I/O Requests (average per disk)");
+    print!("{}", figures::table1(&refs));
+    println!();
+    println!("paper reference: Baseline 0/100 @0.9/s; PPM 4/96; Wavelet 49/51; N-Body 13/87");
+}

@@ -1,0 +1,125 @@
+//! # essio-bench — figure/table regeneration and performance benchmarks
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Binaries** (`src/bin/fig1.rs` … `fig8.rs`, `table1.rs`,
+//!   `ablations.rs`, `experiment.rs`, `paper.rs`) regenerate every figure
+//!   and table of the paper's evaluation. Each accepts `--full` to run at
+//!   paper scale (16 nodes, full durations; seconds of host time) and
+//!   defaults to a quick 2-node variant, and `--tsv` to emit raw series
+//!   instead of the terminal plot.
+//! * **Criterion benches** (`benches/`) measure the host-side performance
+//!   of every subsystem (driver scheduling, buffer cache, VM paging,
+//!   read-ahead, the three numerical kernels, trace codecs, the analysis
+//!   pipeline) plus the tracer-overhead comparison backing the paper's
+//!   note that instrumentation "did not measurably change the execution
+//!   time of any of the applications".
+
+use essio::prelude::*;
+
+/// Common CLI switches for the figure binaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cli {
+    /// Run at paper scale (16 nodes, full durations).
+    pub full: bool,
+    /// Emit TSV data instead of an ASCII plot.
+    pub tsv: bool,
+}
+
+impl Cli {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut cli = Cli::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--full" => cli.full = true,
+                "--tsv" => cli.tsv = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: [--full] [--tsv]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// Build an experiment at the selected scale.
+    pub fn experiment(&self, kind: ExperimentKind) -> Experiment {
+        let e = match kind {
+            ExperimentKind::Baseline => Experiment::baseline(),
+            ExperimentKind::Ppm => Experiment::ppm(),
+            ExperimentKind::Wavelet => Experiment::wavelet(),
+            ExperimentKind::Nbody => Experiment::nbody(),
+            ExperimentKind::Combined => Experiment::combined(),
+        };
+        if self.full {
+            e
+        } else {
+            e.quick()
+        }
+    }
+
+    /// Run and time an experiment, reporting to stderr.
+    pub fn run(&self, kind: ExperimentKind) -> ExperimentResult {
+        let label = kind.name();
+        let scale = if self.full { "full (16-node)" } else { "quick (2-node)" };
+        eprintln!("running {label} experiment at {scale} scale...");
+        let t0 = std::time::Instant::now();
+        let r = self.experiment(kind).run();
+        eprintln!(
+            "  done in {:.2?} host time: {:.0}s virtual, {} trace records, clean={}",
+            t0.elapsed(),
+            r.duration_s(),
+            r.trace.len(),
+            r.all_clean()
+        );
+        r
+    }
+
+    /// Print a scatter figure in the selected format.
+    pub fn emit(&self, scatter: &essio::figures::Scatter) {
+        if self.tsv {
+            print!("{}", scatter.to_tsv());
+        } else {
+            print!("{}", scatter.to_ascii(100, 28));
+        }
+    }
+}
+
+/// Build a deterministic synthetic trace for the codec/analysis benches.
+pub fn synthetic_trace(n: usize) -> Vec<essio_trace::TraceRecord> {
+    use essio_trace::{Op, Origin, TraceRecord};
+    let mut rng = essio_sim::SimRng::new(0xBEEF);
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            t += rng.below(200_000);
+            let class = rng.below(10);
+            let (sector, nsectors, op, origin) = match class {
+                0..=4 => (45_000 + rng.below(2_000) as u32, 2u16, Op::Write, Origin::Log),
+                5..=6 => (399_000 - rng.below(50_000) as u32, 8, Op::Write, Origin::SwapOut),
+                7 => (399_000 - rng.below(50_000) as u32, 8, Op::Read, Origin::SwapIn),
+                8 => (60_000 + rng.below(200_000) as u32, 32, Op::Read, Origin::FileData),
+                _ => (940_000 + rng.below(10_000) as u32, 2, Op::Write, Origin::TraceDump),
+            };
+            TraceRecord { ts: t, sector, nsectors, pending: rng.below(8) as u16, node: rng.below(16) as u8, op, origin }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn synthetic_trace_is_deterministic_and_ordered() {
+        let a = super::synthetic_trace(1000);
+        let b = super::synthetic_trace(1000);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+}

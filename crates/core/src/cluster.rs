@@ -1,0 +1,731 @@
+//! The Beowulf world model: nodes, processes, network, and the event loop.
+//!
+//! This is where the effect-style subsystem APIs meet the event queue.
+//! The invariants the loop maintains:
+//!
+//! * **One outstanding disk event per node.** The kernel/driver pair only
+//!   reports a completion deadline when the drive goes idle → busy; every
+//!   `Some(deadline)` is scheduled exactly once, and each completion either
+//!   reports the next deadline or the drive is idle.
+//! * **One runnable logical thread.** Hosted process threads only run
+//!   between `resume()` and the next yield; the loop is otherwise single-
+//!   threaded, so identical seeds give bit-identical traces.
+//! * **Processes park in exactly one place**: the kernel (disk waits), the
+//!   PVM layer (receive/barrier waits), or the loop's own `pending` map
+//!   (touch streams mid-fault with their continuation message).
+
+use std::collections::HashMap;
+
+use essio_apps::{AppCall, AppReply};
+use essio_kernel::{Kernel, KernelConfig, Pid, Placement};
+use essio_net::{BarrierOutcome, Ethernet, Message, NetConfig, NetOp, NetResult, Pvm, TaskId};
+use essio_sim::{Engine, ProcConfig, ProcMsg, ProcessHost, SimTime};
+use essio_trace::{InstrumentationLevel, TraceRecord};
+
+use essio_kernel::daemons::DaemonKind;
+use essio_kernel::kernel::{Outcome, TouchOutcome, WakeKind};
+
+/// World events.
+#[derive(Debug)]
+pub enum Event {
+    /// A node's in-flight disk request completes.
+    Disk {
+        /// Node index.
+        node: u8,
+    },
+    /// A kernel daemon tick.
+    Daemon {
+        /// Node index.
+        node: u8,
+        /// Which daemon.
+        kind: DaemonKind,
+    },
+    /// Resume a hosted process (optionally delivering a reply).
+    Resume {
+        /// Node index.
+        node: u8,
+        /// Process id.
+        pid: Pid,
+        /// Reply for a blocked request, `None` to continue computing.
+        reply: Option<AppReply>,
+    },
+    /// A compute burst finishes (processor-sharing accounting), then the
+    /// process resumes.
+    ComputeDone {
+        /// Node index.
+        node: u8,
+        /// Process id.
+        pid: Pid,
+    },
+    /// A PVM message reaches its destination.
+    NetDeliver(Message),
+    /// Periodic host-side trace collection (the experiment's proc-fs
+    /// reader keeping up with the ring buffer).
+    DrainTraces,
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct BeowulfConfig {
+    /// Node count (paper: 16).
+    pub nodes: u8,
+    /// Master seed; forked per node and subsystem.
+    pub seed: u64,
+    /// Disk scheduler policy (ablation knob).
+    pub sched: essio_disk::SchedPolicy,
+    /// Read-ahead enabled (ablation knob).
+    pub readahead: bool,
+    /// Spool the instrumentation trace to disk (its own I/O).
+    pub spool_trace: bool,
+    /// Instrumentation level for all nodes.
+    pub instrumentation: InstrumentationLevel,
+    /// User frame pool per node (ablation knob; default 3072 = 12 MB).
+    pub frames_user: u32,
+    /// Buffer cache blocks per node (ablation knob; default 1536).
+    pub cache_blocks: usize,
+    /// Network parameters.
+    pub net: NetConfig,
+    /// Interval between host-side trace drains, µs.
+    pub drain_every_us: SimTime,
+    /// Optional deterministic disk fault injection (every Nth command).
+    pub disk_fault_every: Option<u64>,
+}
+
+impl Default for BeowulfConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 16,
+            seed: 0xE55,
+            sched: essio_disk::SchedPolicy::Elevator,
+            readahead: true,
+            spool_trace: true,
+            instrumentation: InstrumentationLevel::Full,
+            frames_user: 3072,
+            cache_blocks: 1536,
+            net: NetConfig::default(),
+            drain_every_us: 5_000_000,
+            disk_fault_every: None,
+        }
+    }
+}
+
+/// What a process is waiting to do once its touch stream drains.
+#[derive(Debug)]
+enum Pending {
+    Compute { micros: u64 },
+    Request { call: AppCall },
+    Exit { code: i32 },
+}
+
+struct NodeSim {
+    kernel: Kernel,
+    hosts: HashMap<Pid, ProcessHost<AppCall, AppReply>>,
+    started: HashMap<Pid, bool>,
+    pending: HashMap<Pid, Pending>,
+    /// Processes currently inside a compute burst — the single 486 is
+    /// time-shared, so a burst of `d` µs takes `d × computing` of wall
+    /// clock (processor-sharing approximation at ~10 ms granularity; this
+    /// is what stretches the combined run toward the paper's 700 s).
+    computing: u32,
+}
+
+/// A finished process.
+#[derive(Debug, Clone)]
+pub struct ProcExit {
+    /// Node it ran on.
+    pub node: u8,
+    /// Its pid.
+    pub pid: Pid,
+    /// Its name.
+    pub name: String,
+    /// Exit code (0 = success; 101 = panic; 139 = killed by the kernel).
+    pub code: i32,
+    /// Virtual time of exit.
+    pub at: SimTime,
+}
+
+/// The cluster.
+pub struct Beowulf {
+    cfg: BeowulfConfig,
+    engine: Engine<Event>,
+    nodes: Vec<NodeSim>,
+    pvm: Pvm,
+    next_pid: Pid,
+    task_of: HashMap<(u8, Pid), TaskId>,
+    loc_of: HashMap<TaskId, (u8, Pid)>,
+    names: HashMap<(u8, Pid), String>,
+    live: usize,
+    trace: Vec<TraceRecord>,
+    exits: Vec<ProcExit>,
+    booted: bool,
+}
+
+/// Fixed CPU costs of the messaging layer on the host side, µs.
+const NET_SEND_US: SimTime = 300;
+const NET_RECV_US: SimTime = 200;
+
+impl Beowulf {
+    /// Assemble a cluster.
+    pub fn new(cfg: BeowulfConfig) -> Self {
+        assert!(cfg.nodes > 0);
+        let mut nodes = Vec::with_capacity(cfg.nodes as usize);
+        for n in 0..cfg.nodes {
+            let mut kc = KernelConfig::beowulf(n);
+            kc.sched = cfg.sched;
+            kc.readahead = cfg.readahead;
+            kc.spool_trace = cfg.spool_trace;
+            kc.frames_user = cfg.frames_user;
+            kc.cache_blocks = cfg.cache_blocks;
+            kc.seed = cfg.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(n as u64 + 1));
+            kc.timing.fault_every = cfg.disk_fault_every;
+            let mut kernel = Kernel::new(kc);
+            kernel.set_instrumentation(cfg.instrumentation);
+            nodes.push(NodeSim {
+                kernel,
+                hosts: HashMap::new(),
+                started: HashMap::new(),
+                pending: HashMap::new(),
+                computing: 0,
+            });
+        }
+        let pvm = Pvm::new(Ethernet::new(cfg.net.clone()));
+        Self {
+            cfg,
+            engine: Engine::new(),
+            nodes,
+            pvm,
+            next_pid: 1,
+            task_of: HashMap::new(),
+            loc_of: HashMap::new(),
+            names: HashMap::new(),
+            live: 0,
+            trace: Vec::new(),
+            exits: Vec::new(),
+            booted: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u8 {
+        self.cfg.nodes
+    }
+
+    /// The task id the *next* spawn will receive (used to compute
+    /// `task_base` for rank-addressed workloads before spawning them).
+    pub fn next_task(&self) -> TaskId {
+        self.next_pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Pre-load a file on one node's disk.
+    pub fn install_file(&mut self, node: u8, path: &str, placement: Placement, content: &[u8]) {
+        self.nodes[node as usize].kernel.install_file(path, placement, content);
+    }
+
+    /// Pre-load a file on every node's disk.
+    pub fn install_all(&mut self, path: &str, placement: Placement, content: &[u8]) {
+        for n in 0..self.cfg.nodes {
+            self.install_file(n, path, placement, content);
+        }
+    }
+
+    /// Spawn an application process on `node`, to start at `start`.
+    /// Returns its PVM task id (assigned in spawn order).
+    pub fn spawn<F>(&mut self, node: u8, name: &str, start: SimTime, body: F) -> TaskId
+    where
+        F: FnOnce(&mut essio_apps::AppCtx) -> i32 + Send + 'static,
+    {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let task: TaskId = pid; // task ids mirror pids (spawn order)
+        let host = ProcessHost::spawn(format!("{name}@{node}"), ProcConfig::default(), body);
+        let ns = &mut self.nodes[node as usize];
+        ns.kernel.register_process(pid);
+        ns.hosts.insert(pid, host);
+        ns.started.insert(pid, false);
+        self.task_of.insert((node, pid), task);
+        self.loc_of.insert(task, (node, pid));
+        self.names.insert((node, pid), name.to_string());
+        self.live += 1;
+        self.engine.schedule_at(start.max(self.engine.now()), Event::Resume { node, pid, reply: None });
+        task
+    }
+
+    fn boot(&mut self) {
+        if self.booted {
+            return;
+        }
+        self.booted = true;
+        let now = self.engine.now();
+        for n in 0..self.cfg.nodes {
+            for (at, ev) in self.nodes[n as usize].kernel.boot_deadlines(now) {
+                match ev {
+                    essio_kernel::KernelEvent::Daemon(kind) => {
+                        self.engine.schedule_at(at, Event::Daemon { node: n, kind });
+                    }
+                    essio_kernel::KernelEvent::DiskComplete => {
+                        self.engine.schedule_at(at, Event::Disk { node: n });
+                    }
+                }
+            }
+        }
+        self.engine
+            .schedule_in(self.cfg.drain_every_us, Event::DrainTraces);
+    }
+
+    /// Run until the virtual clock reaches `end` (events beyond stay queued).
+    pub fn run_until(&mut self, end: SimTime) {
+        self.boot();
+        while let Some(at) = self.engine.peek_time() {
+            if at > end {
+                break;
+            }
+            let (now, ev) = self.engine.pop().expect("peeked");
+            self.handle(now, ev);
+        }
+        self.drain_traces();
+    }
+
+    /// Run until every spawned process has exited, then let write-back
+    /// settle for `settle_us` more virtual time. Returns the time of the
+    /// last exit.
+    pub fn run_apps(&mut self, settle_us: SimTime) -> SimTime {
+        self.boot();
+        while self.live > 0 {
+            let (now, ev) = self
+                .engine
+                .pop()
+                .expect("daemon timers keep the queue non-empty while apps live");
+            self.handle(now, ev);
+        }
+        let last_exit = self.exits.iter().map(|e| e.at).max().unwrap_or(self.engine.now());
+        self.run_until(last_exit + settle_us);
+        last_exit
+    }
+
+    /// Collected trace records so far (drained incrementally during the
+    /// run; call after `run_*` for the full set). Sorted by timestamp.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.drain_traces();
+        let mut t = std::mem::take(&mut self.trace);
+        t.sort_by_key(|r| (r.ts, r.node, r.sector));
+        t
+    }
+
+    /// Process exit records.
+    pub fn exits(&self) -> &[ProcExit] {
+        &self.exits
+    }
+
+    /// Kernel access for assertions/diagnostics.
+    pub fn kernel(&self, node: u8) -> &Kernel {
+        &self.nodes[node as usize].kernel
+    }
+
+    /// Total trace records dropped in kernel rings (should stay 0 when the
+    /// drain interval keeps up).
+    pub fn trace_dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kernel.trace_dropped()).sum()
+    }
+
+    /// Network-layer statistics (messages, bytes).
+    pub fn net_stats(&self) -> (u64, u64) {
+        let e = self.pvm.ether();
+        (e.messages, e.bytes)
+    }
+
+    fn drain_traces(&mut self) {
+        for n in self.nodes.iter_mut() {
+            self.trace.extend(n.kernel.drain_trace());
+        }
+    }
+
+    /// Schedule the end of a compute burst under processor sharing: the
+    /// burst stretches by the number of concurrently computing processes.
+    fn schedule_compute(&mut self, now: SimTime, node: u8, pid: Pid, lead_us: SimTime, micros: u64) {
+        let ns = &mut self.nodes[node as usize];
+        ns.computing += 1;
+        let factor = ns.computing as u64;
+        self.engine
+            .schedule_at(now + lead_us + micros * factor, Event::ComputeDone { node, pid });
+    }
+
+    fn schedule_disk(&mut self, node: u8, deadline: Option<SimTime>) {
+        if let Some(at) = deadline {
+            self.engine.schedule_at(at, Event::Disk { node });
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::DrainTraces => {
+                self.drain_traces();
+                self.engine.schedule_in(self.cfg.drain_every_us, Event::DrainTraces);
+            }
+            Event::Daemon { node, kind } => {
+                let (disk, next) = self.nodes[node as usize].kernel.daemon_tick(now, kind);
+                self.schedule_disk(node, disk);
+                self.engine.schedule_at(next, Event::Daemon { node, kind });
+            }
+            Event::Disk { node } => {
+                let (wakes, next) = self.nodes[node as usize].kernel.disk_complete(now);
+                self.schedule_disk(node, next);
+                for (pid, wake) in wakes {
+                    self.handle_wake(now, node, pid, wake);
+                }
+            }
+            Event::Resume { node, pid, reply } => {
+                self.resume_proc(now, node, pid, reply);
+            }
+            Event::ComputeDone { node, pid } => {
+                let ns = &mut self.nodes[node as usize];
+                ns.computing = ns.computing.saturating_sub(1);
+                self.resume_proc(now, node, pid, None);
+            }
+            Event::NetDeliver(msg) => {
+                if let Some((task, msg)) = self.pvm.deliver(msg) {
+                    if let Some(&(node, pid)) = self.loc_of.get(&task) {
+                        self.engine.schedule_in(
+                            NET_RECV_US,
+                            Event::Resume { node, pid, reply: Some(AppReply::Net(NetResult::Message(msg))) },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_wake(&mut self, now: SimTime, node: u8, pid: Pid, wake: WakeKind) {
+        match wake {
+            WakeKind::Syscall(result) => {
+                self.engine.schedule_at(
+                    now,
+                    Event::Resume { node, pid, reply: Some(AppReply::Sys(result)) },
+                );
+            }
+            WakeKind::TouchDone { cpu_us } => {
+                // The touch stream drained; carry out whatever the process
+                // was on its way to do.
+                let pending = self.nodes[node as usize]
+                    .pending
+                    .remove(&pid)
+                    .expect("blocked touch stream has a continuation");
+                match pending {
+                    Pending::Compute { micros } => {
+                        self.schedule_compute(now, node, pid, cpu_us, micros);
+                    }
+                    Pending::Request { call } => {
+                        self.dispatch_call(now + cpu_us, node, pid, call);
+                    }
+                    Pending::Exit { code } => self.finish_proc(now, node, pid, code),
+                }
+            }
+            WakeKind::Fatal(reason) => self.kill_proc(now, node, pid, reason),
+        }
+    }
+
+    fn resume_proc(&mut self, now: SimTime, node: u8, pid: Pid, reply: Option<AppReply>) {
+        let ns = &mut self.nodes[node as usize];
+        let Some(host) = ns.hosts.get_mut(&pid) else {
+            return; // process died while a wake was in flight
+        };
+        let started = ns.started.get_mut(&pid).expect("spawned");
+        let msg = if !*started {
+            *started = true;
+            host.start(now)
+        } else {
+            match reply {
+                Some(r) => host.resume(now, r),
+                None => host.resume_compute(now),
+            }
+        };
+        self.process_msg(now, node, pid, msg);
+    }
+
+    fn process_msg(&mut self, now: SimTime, node: u8, pid: Pid, msg: ProcMsg<AppCall>) {
+        // Touches first, in program order.
+        let (touches, then) = match msg {
+            ProcMsg::Compute { micros, touches } => (touches, Pending::Compute { micros }),
+            ProcMsg::Request { call, touches } => (touches, Pending::Request { call }),
+            ProcMsg::Exit { code, touches } => (touches, Pending::Exit { code }),
+        };
+        let (outcome, disk) = self.nodes[node as usize].kernel.touches(now, pid, touches);
+        self.schedule_disk(node, disk);
+        match outcome {
+            TouchOutcome::Done { cpu_us } => match then {
+                Pending::Compute { micros } => {
+                    self.schedule_compute(now, node, pid, cpu_us, micros);
+                }
+                Pending::Request { call } => self.dispatch_call(now + cpu_us, node, pid, call),
+                Pending::Exit { code } => self.finish_proc(now, node, pid, code),
+            },
+            TouchOutcome::Blocked => {
+                self.nodes[node as usize].pending.insert(pid, then);
+            }
+            TouchOutcome::Fatal(reason) => self.kill_proc(now, node, pid, reason),
+        }
+    }
+
+    fn dispatch_call(&mut self, now: SimTime, node: u8, pid: Pid, call: AppCall) {
+        match call {
+            AppCall::Sys(sys) => {
+                let (outcome, disk) = self.nodes[node as usize].kernel.syscall(now, pid, sys);
+                self.schedule_disk(node, disk);
+                match outcome {
+                    Outcome::Done { result, cpu_us } => {
+                        self.engine.schedule_at(
+                            now + cpu_us,
+                            Event::Resume { node, pid, reply: Some(AppReply::Sys(result)) },
+                        );
+                    }
+                    Outcome::Blocked => { /* kernel wakes it via Disk events */ }
+                }
+            }
+            AppCall::Net(op) => self.dispatch_net(now, node, pid, op),
+        }
+    }
+
+    fn dispatch_net(&mut self, now: SimTime, node: u8, pid: Pid, op: NetOp) {
+        let task = *self.task_of.get(&(node, pid)).expect("spawned via Beowulf::spawn");
+        match op {
+            NetOp::Send { to, tag, data } => {
+                let msg = Message { from: task, to, tag, data };
+                let delivery = self.pvm.send(now, &msg);
+                self.engine.schedule_at(delivery, Event::NetDeliver(msg));
+                self.engine.schedule_at(
+                    now + NET_SEND_US,
+                    Event::Resume { node, pid, reply: Some(AppReply::Net(NetResult::Sent)) },
+                );
+            }
+            NetOp::Recv { from, tag } => {
+                if let Some(msg) = self.pvm.recv(task, from, tag) {
+                    self.engine.schedule_at(
+                        now + NET_RECV_US,
+                        Event::Resume { node, pid, reply: Some(AppReply::Net(NetResult::Message(msg))) },
+                    );
+                }
+                // Otherwise the PVM layer holds the wait; a NetDeliver
+                // event will wake the task.
+            }
+            NetOp::Barrier { group, n } => match self.pvm.barrier(task, group, n) {
+                BarrierOutcome::Wait => {}
+                BarrierOutcome::Release(others) => {
+                    self.engine.schedule_at(
+                        now + NET_RECV_US,
+                        Event::Resume { node, pid, reply: Some(AppReply::Net(NetResult::BarrierDone)) },
+                    );
+                    for t in others {
+                        if let Some(&(onode, opid)) = self.loc_of.get(&t) {
+                            // Barrier release fans out as small messages.
+                            self.engine.schedule_at(
+                                now + NET_RECV_US + self.cfg.net.latency_us,
+                                Event::Resume {
+                                    node: onode,
+                                    pid: opid,
+                                    reply: Some(AppReply::Net(NetResult::BarrierDone)),
+                                },
+                            );
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    fn finish_proc(&mut self, now: SimTime, node: u8, pid: Pid, code: i32) {
+        let name = self.names.get(&(node, pid)).cloned().unwrap_or_default();
+        self.exits.push(ProcExit { node, pid, name, code, at: now });
+        self.teardown(node, pid);
+    }
+
+    fn kill_proc(&mut self, now: SimTime, node: u8, pid: Pid, reason: &'static str) {
+        let name = self.names.get(&(node, pid)).cloned().unwrap_or_default();
+        let name = format!("{name} ({reason})");
+        self.exits.push(ProcExit { node, pid, name, code: 139, at: now });
+        self.teardown(node, pid);
+    }
+
+    fn teardown(&mut self, node: u8, pid: Pid) {
+        let ns = &mut self.nodes[node as usize];
+        ns.kernel.process_exit(pid);
+        ns.hosts.remove(&pid); // Drop joins the thread
+        ns.started.remove(&pid);
+        ns.pending.remove(&pid);
+        if let Some(task) = self.task_of.remove(&(node, pid)) {
+            self.pvm.forget(task);
+            self.loc_of.remove(&task);
+        }
+        self.live -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essio_apps::CtxExt;
+    use essio_kernel::Syscall;
+
+    fn small_cluster(nodes: u8) -> Beowulf {
+        let cfg = BeowulfConfig { nodes, drain_every_us: 1_000_000, ..Default::default() };
+        Beowulf::new(cfg)
+    }
+
+    #[test]
+    fn baseline_daemons_produce_write_only_trace() {
+        let mut bw = small_cluster(2);
+        bw.run_until(60_000_000);
+        let trace = bw.take_trace();
+        assert!(!trace.is_empty(), "daemons must write");
+        assert!(trace.iter().all(|r| r.op == essio_trace::Op::Write));
+        assert!(trace.iter().any(|r| r.node == 0));
+        assert!(trace.iter().any(|r| r.node == 1));
+        assert_eq!(bw.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn single_process_lifecycle_with_file_io() {
+        let mut bw = small_cluster(1);
+        bw.install_file(0, "/data/in", Placement::User, &vec![7u8; 8192]);
+        bw.spawn(0, "copier", 0, |ctx| {
+            let mut input = essio_apps::SimFile::open(ctx, "/data/in", false, Placement::User);
+            let data = input.read(ctx, 8192);
+            assert_eq!(data.len(), 8192);
+            input.close(ctx);
+            let mut out = essio_apps::SimFile::open(ctx, "/out", true, Placement::User);
+            out.write(ctx, data);
+            out.fsync(ctx);
+            out.close(ctx);
+            0
+        });
+        bw.run_apps(12_000_000);
+        assert_eq!(bw.exits().len(), 1);
+        assert_eq!(bw.exits()[0].code, 0, "{:?}", bw.exits());
+        let trace = bw.take_trace();
+        assert!(trace.iter().any(|r| r.op == essio_trace::Op::Read), "input was read");
+        assert!(trace.iter().any(|r| r.op == essio_trace::Op::Write), "output was written");
+        // The output landed on the simulated FS.
+        let ino = bw.kernel(0).fs().lookup("/out").expect("created");
+        assert_eq!(bw.kernel(0).fs().inode(ino).unwrap().size, 8192);
+    }
+
+    #[test]
+    fn two_processes_exchange_messages() {
+        let mut bw = small_cluster(2);
+        // Tasks get ids 1 and 2 in spawn order.
+        bw.spawn(0, "sender", 0, |ctx| {
+            match ctx.net(NetOp::Recv { from: None, tag: Some(5) }) {
+                NetResult::Message(m) => {
+                    assert_eq!(m.data, vec![9, 9]);
+                    ctx.net(NetOp::Send { to: m.from, tag: 6, data: vec![1] });
+                    0
+                }
+                other => panic!("{other:?}"),
+            }
+        });
+        bw.spawn(1, "replier", 0, |ctx| {
+            ctx.net(NetOp::Send { to: 1, tag: 5, data: vec![9, 9] });
+            match ctx.net(NetOp::Recv { from: Some(1), tag: Some(6) }) {
+                NetResult::Message(_) => 0,
+                other => panic!("{other:?}"),
+            }
+        });
+        bw.run_apps(1_000_000);
+        assert!(bw.exits().iter().all(|e| e.code == 0), "{:?}", bw.exits());
+        let (msgs, bytes) = bw.net_stats();
+        assert_eq!(msgs, 2);
+        assert_eq!(bytes, 3);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_tasks() {
+        let mut bw = small_cluster(4);
+        for n in 0..4u8 {
+            bw.spawn(n, "member", (n as u64) * 10_000, move |ctx| {
+                ctx.compute(5_000);
+                match ctx.net(NetOp::Barrier { group: 1, n: 4 }) {
+                    NetResult::BarrierDone => 0,
+                    other => panic!("{other:?}"),
+                }
+            });
+        }
+        bw.run_apps(1_000_000);
+        assert_eq!(bw.exits().len(), 4);
+        assert!(bw.exits().iter().all(|e| e.code == 0));
+        // Nobody can exit before the last arrival (t=30ms + compute).
+        let earliest_exit = bw.exits().iter().map(|e| e.at).min().unwrap();
+        assert!(earliest_exit >= 35_000, "exit at {earliest_exit}");
+    }
+
+    #[test]
+    fn wild_pointer_process_is_killed_not_wedged() {
+        let mut bw = small_cluster(1);
+        bw.spawn(0, "crasher", 0, |ctx| {
+            ctx.touch(0xDEAD_BEEF);
+            ctx.request(AppCall::Sys(Syscall::Sync)); // forces the touch flush
+            0
+        });
+        bw.run_apps(1_000_000);
+        assert_eq!(bw.exits().len(), 1);
+        assert_eq!(bw.exits()[0].code, 139);
+        assert!(bw.exits()[0].name.contains("segmentation fault"));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let run = || {
+            let mut bw = small_cluster(2);
+            bw.install_file(0, "/in", Placement::User, &vec![3u8; 16 * 1024]);
+            bw.spawn(0, "reader", 0, |ctx| {
+                let mut f = essio_apps::SimFile::open(ctx, "/in", false, Placement::User);
+                for _ in 0..16 {
+                    f.read(ctx, 1024);
+                    ctx.compute(20_000);
+                }
+                f.close(ctx);
+                0
+            });
+            bw.run_apps(12_000_000);
+            bw.take_trace()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a, b, "simulation must be deterministic");
+    }
+
+    #[test]
+    fn late_spawn_starts_at_requested_time() {
+        let mut bw = small_cluster(1);
+        bw.spawn(0, "late", 30_000_000, |ctx| {
+            assert!(ctx.now() >= 30_000_000);
+            0
+        });
+        bw.run_apps(1_000_000);
+        assert!(bw.exits()[0].at >= 30_000_000);
+    }
+
+    #[test]
+    fn instrumentation_off_produces_empty_trace_but_running_system() {
+        let cfg = BeowulfConfig {
+            nodes: 1,
+            instrumentation: InstrumentationLevel::Off,
+            ..Default::default()
+        };
+        let mut bw = Beowulf::new(cfg);
+        bw.spawn(0, "writer", 0, |ctx| {
+            let mut f = essio_apps::SimFile::open(ctx, "/o", true, Placement::User);
+            f.write(ctx, vec![1u8; 4096]);
+            f.fsync(ctx);
+            f.close(ctx);
+            0
+        });
+        bw.run_apps(12_000_000);
+        assert_eq!(bw.exits()[0].code, 0);
+        assert!(bw.take_trace().is_empty(), "no records at level Off");
+        assert!(bw.kernel(0).driver_stats().dispatched > 0, "the disk still worked");
+    }
+}

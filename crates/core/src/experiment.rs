@@ -1,0 +1,333 @@
+//! The five experiments of paper §3.5.
+//!
+//! *"The instrumentation was turned on and trace file data was collected
+//! for I/O requests during four basic experiments"*: (1) the quiescent
+//! baseline, (2–4) each application alone, and (5) *"collect data while all
+//! three applications were running simultaneously ... to emulate a typical
+//! production environment."*
+//!
+//! [`Experiment`] is a builder over those five kinds plus the knobs the
+//! ablation benches sweep (scheduler policy, read-ahead, cache size, node
+//! count, seeds). [`Experiment::run`] assembles the cluster, provisions
+//! assets, spawns fleets, runs to completion (or for the configured
+//! baseline duration), and returns the merged trace with its full
+//! [`TraceSummary`].
+
+use essio_apps::{nbody::NbodyConfig, ppm::PpmConfig, wavelet::WaveletConfig};
+use essio_sim::SimTime;
+use essio_trace::analysis::{RwStats, TraceSummary};
+use essio_trace::TraceRecord;
+
+use crate::cluster::{Beowulf, BeowulfConfig, ProcExit};
+use crate::workloads;
+
+/// Which experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentKind {
+    /// No user applications (paper Figure 1, Table 1 row 1).
+    Baseline,
+    /// PPM alone (Figure 2).
+    Ppm,
+    /// Wavelet alone (Figure 3).
+    Wavelet,
+    /// N-body alone (Figure 4).
+    Nbody,
+    /// All three simultaneously (Figures 5–8).
+    Combined,
+}
+
+impl ExperimentKind {
+    /// Display name matching Table 1's row labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentKind::Baseline => "Baseline",
+            ExperimentKind::Ppm => "PPM",
+            ExperimentKind::Wavelet => "Wavelet",
+            ExperimentKind::Nbody => "N-Body",
+            ExperimentKind::Combined => "Combined",
+        }
+    }
+}
+
+/// An experiment specification (builder).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Which experiment.
+    pub kind: ExperimentKind,
+    /// Cluster configuration.
+    pub cluster: BeowulfConfig,
+    /// Baseline observation window, seconds (paper: 2000 s).
+    pub baseline_secs: u64,
+    /// Post-exit settling time for write-back, seconds.
+    pub settle_secs: u64,
+    /// PPM workload parameters.
+    pub ppm: PpmConfig,
+    /// Wavelet workload parameters.
+    pub wavelet: WaveletConfig,
+    /// N-body workload parameters.
+    pub nbody: NbodyConfig,
+}
+
+impl Experiment {
+    fn new(kind: ExperimentKind) -> Self {
+        Self {
+            kind,
+            cluster: BeowulfConfig::default(),
+            baseline_secs: 2000,
+            settle_secs: 12,
+            ppm: PpmConfig::default(),
+            wavelet: WaveletConfig::default(),
+            nbody: NbodyConfig::default(),
+        }
+    }
+
+    /// The quiescent baseline (2000 s by default).
+    pub fn baseline() -> Self {
+        Self::new(ExperimentKind::Baseline)
+    }
+
+    /// PPM alone.
+    pub fn ppm() -> Self {
+        Self::new(ExperimentKind::Ppm)
+    }
+
+    /// Wavelet alone.
+    pub fn wavelet() -> Self {
+        Self::new(ExperimentKind::Wavelet)
+    }
+
+    /// N-body alone.
+    pub fn nbody() -> Self {
+        Self::new(ExperimentKind::Nbody)
+    }
+
+    /// All three simultaneously.
+    pub fn combined() -> Self {
+        Self::new(ExperimentKind::Combined)
+    }
+
+    /// Set the baseline observation window.
+    pub fn duration_secs(mut self, secs: u64) -> Self {
+        self.baseline_secs = secs;
+        self
+    }
+
+    /// Set the node count (paper: 16).
+    pub fn nodes(mut self, nodes: u8) -> Self {
+        self.cluster.nodes = nodes;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cluster.seed = seed;
+        self
+    }
+
+    /// A fast variant for tests and smoke runs: 2 nodes, short workloads.
+    /// Paging behaviour is preserved (footprints stay above the frame
+    /// pool); only durations, grid sizes and particle counts shrink.
+    pub fn quick(mut self) -> Self {
+        self.cluster.nodes = 2;
+        self.baseline_secs = 120;
+        self.ppm.nx = 24;
+        self.ppm.ny = 32;
+        self.ppm.grids_per_node = 2;
+        self.ppm.steps = 10;
+        self.ppm.duration_s = 50.0;
+        self.ppm.stats_every = 3;
+        self.wavelet.size = 64;
+        self.wavelet.levels = 3;
+        self.wavelet.setup_s = 4.0;
+        self.wavelet.transform_s = 25.0;
+        self.wavelet.footprint_pages = 3250;
+        self.nbody.particles = 96;
+        self.nbody.steps = 10;
+        self.nbody.duration_s = 55.0;
+        self.nbody.stats_every = 2;
+        self.nbody.snap_every = 2;
+        self
+    }
+
+    /// Run the experiment.
+    pub fn run(self) -> ExperimentResult {
+        let mut bw = Beowulf::new(self.cluster.clone());
+        let kind = self.kind;
+        if kind != ExperimentKind::Baseline {
+            workloads::install_assets(&mut bw, self.cluster.seed);
+        }
+        match kind {
+            ExperimentKind::Baseline => {}
+            ExperimentKind::Ppm => {
+                workloads::spawn_ppm_fleet(&mut bw, &self.ppm, 0);
+            }
+            ExperimentKind::Wavelet => {
+                workloads::spawn_wavelet_fleet(&mut bw, &self.wavelet, 0);
+            }
+            ExperimentKind::Nbody => {
+                workloads::spawn_nbody_fleet(&mut bw, &self.nbody, 0);
+            }
+            ExperimentKind::Combined => {
+                workloads::spawn_ppm_fleet(&mut bw, &self.ppm, 0);
+                workloads::spawn_wavelet_fleet(&mut bw, &self.wavelet, 0);
+                workloads::spawn_nbody_fleet(&mut bw, &self.nbody, 0);
+            }
+        }
+        let duration = match kind {
+            ExperimentKind::Baseline => {
+                let end = self.baseline_secs * 1_000_000;
+                bw.run_until(end);
+                end
+            }
+            _ => {
+                bw.run_apps(self.settle_secs * 1_000_000);
+                bw.now()
+            }
+        };
+        let trace = bw.take_trace();
+        let nodes = bw.nodes();
+        let exits = bw.exits().to_vec();
+        let total_sectors = essio_disk::DiskGeometry::BEOWULF_500MB.total_sectors();
+        let summary = TraceSummary::compute(&trace, duration, total_sectors);
+        ExperimentResult { kind, nodes, duration, trace, summary, exits }
+    }
+}
+
+/// The output of one experiment run.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Which experiment ran.
+    pub kind: ExperimentKind,
+    /// Node count.
+    pub nodes: u8,
+    /// Observation window / run length, µs.
+    pub duration: SimTime,
+    /// Every trace record from every node, time-ordered.
+    pub trace: Vec<TraceRecord>,
+    /// Full characterization of the merged trace.
+    pub summary: TraceSummary,
+    /// Process exits (empty for the baseline).
+    pub exits: Vec<ProcExit>,
+}
+
+impl ExperimentResult {
+    /// The records from one node's disk (figures plot a single disk).
+    pub fn node_trace(&self, node: u8) -> Vec<TraceRecord> {
+        self.trace.iter().filter(|r| r.node == node).copied().collect()
+    }
+
+    /// Per-disk-average read/write statistics — what Table 1 reports
+    /// ("average per disk").
+    pub fn per_disk_rw(&self) -> RwStats {
+        let mut s = RwStats::compute(&self.trace, self.duration);
+        let n = self.nodes.max(1) as u64;
+        s.reads /= n;
+        s.writes /= n;
+        s.total /= n;
+        s.read_bytes /= n;
+        s.write_bytes /= n;
+        s
+    }
+
+    /// One Table-1 row for this experiment.
+    pub fn table1_row(&self) -> String {
+        self.per_disk_rw().table_row(self.kind.name())
+    }
+
+    /// Run duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.duration as f64 / 1e6
+    }
+
+    /// Did every process finish cleanly?
+    pub fn all_clean(&self) -> bool {
+        self.exits.iter().all(|e| e.code == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essio_trace::Op;
+
+    #[test]
+    fn baseline_is_write_only_at_low_rate() {
+        let r = Experiment::baseline().quick().seed(1).run();
+        assert!(!r.trace.is_empty());
+        assert_eq!(r.summary.rw.reads, 0, "baseline must be 100% writes");
+        let rw = r.per_disk_rw();
+        let rate = rw.req_per_sec();
+        assert!((0.2..3.0).contains(&rate), "per-disk baseline rate {rate}");
+    }
+
+    #[test]
+    fn ppm_writes_dominate_and_output_exists() {
+        let r = Experiment::ppm().quick().seed(2).run();
+        assert!(r.all_clean(), "{:?}", r.exits);
+        let rw = &r.summary.rw;
+        // Quick runs are short, so startup text page-ins weigh more than in
+        // the full 235 s run (where writes dominate ~90/10); still, writes
+        // must be a substantial share.
+        assert!(rw.write_pct() > 35.0, "PPM writes: {}", rw.report());
+        assert!(rw.reads > 0, "text page-ins are reads");
+        // 1 KB requests dominate (Figure 2).
+        use essio_trace::analysis::SizeClass;
+        let frac_1k = r.summary.sizes.fraction(SizeClass::B1K);
+        assert!(frac_1k > 0.4, "1K fraction {frac_1k}");
+    }
+
+    #[test]
+    fn nbody_finishes_clean_and_write_dominated() {
+        let r = Experiment::nbody().quick().seed(3).run();
+        assert!(r.all_clean(), "{:?}", r.exits);
+        assert!(r.summary.rw.write_pct() > 30.0, "{}", r.summary.rw.report());
+    }
+
+    #[test]
+    fn wavelet_has_balanced_mix_and_paging() {
+        let r = Experiment::wavelet().quick().seed(4).run();
+        assert!(r.all_clean(), "{:?}", r.exits);
+        let read_pct = r.summary.rw.read_pct();
+        assert!(
+            (25.0..70.0).contains(&read_pct),
+            "wavelet read% should be near half: {read_pct}"
+        );
+        // Paging produced 4 KB traffic.
+        use essio_trace::analysis::SizeClass;
+        assert!(r.summary.sizes.count(SizeClass::Page4K) > 10, "{:?}", r.summary.sizes.by_class);
+        // And streaming reads grew beyond 4 KB.
+        let big_reads = r
+            .trace
+            .iter()
+            .filter(|t| t.op == Op::Read && t.bytes() >= 8 * 1024)
+            .count();
+        assert!(big_reads > 0, "read-ahead must produce large requests");
+    }
+
+    #[test]
+    fn combined_runs_all_three_apps() {
+        let r = Experiment::combined().quick().seed(5).run();
+        assert!(r.all_clean(), "{:?}", r.exits);
+        // 3 apps × 2 nodes.
+        assert_eq!(r.exits.len(), 6);
+        // Combined load exceeds any single app's.
+        assert!(r.summary.rw.total > 100, "combined produces substantial I/O");
+    }
+
+    #[test]
+    fn experiments_are_reproducible() {
+        let a = Experiment::nbody().quick().seed(7).run();
+        let b = Experiment::nbody().quick().seed(7).run();
+        assert_eq!(a.trace, b.trace);
+        let c = Experiment::nbody().quick().seed(8).run();
+        assert_ne!(a.trace, c.trace, "different seeds must differ");
+    }
+
+    #[test]
+    fn table1_rows_render() {
+        let r = Experiment::baseline().quick().duration_secs(60).run();
+        let row = r.table1_row();
+        assert!(row.starts_with("Baseline"));
+        assert!(row.contains("100%"));
+    }
+}

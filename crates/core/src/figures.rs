@@ -1,0 +1,298 @@
+//! Regeneration of every figure and table in the paper's §4.
+//!
+//! Each `figN` function takes the corresponding experiment's result and
+//! returns the plotted series; `render_*` helpers produce TSV (for real
+//! plotting tools) and a terminal ASCII scatter so the harness binaries in
+//! `essio-bench` can show the shape directly.
+//!
+//! | Paper artifact | Function | Experiment |
+//! |---|---|---|
+//! | Figure 1 — baseline sector vs time | [`fig1`] | `Experiment::baseline()` |
+//! | Figure 2 — PPM request sizes | [`fig2`] | `Experiment::ppm()` |
+//! | Figure 3 — wavelet request sizes | [`fig3`] | `Experiment::wavelet()` |
+//! | Figure 4 — N-body request sizes | [`fig4`] | `Experiment::nbody()` |
+//! | Figure 5 — combined request sizes | [`fig5`] | `Experiment::combined()` |
+//! | Figure 6 — combined sector vs time | [`fig6`] | same run as fig5 |
+//! | Figure 7 — spatial locality | [`fig7`] | same run |
+//! | Figure 8 — temporal locality | [`fig8`] | same run |
+//! | Table 1 — request mix | [`table1`] | all five |
+
+use essio_trace::analysis::{series, SpatialLocality, TemporalLocality};
+
+use crate::experiment::ExperimentResult;
+
+/// Node whose disk the figures plot (the paper plots one representative
+/// disk; all nodes are statistically equivalent).
+pub const FIGURE_NODE: u8 = 0;
+
+/// A scatter of `(seconds, value)` points plus labels.
+#[derive(Debug, Clone)]
+pub struct Scatter {
+    /// Figure title.
+    pub title: String,
+    /// Y-axis label.
+    pub ylabel: &'static str,
+    /// Points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Scatter {
+    /// Tab-separated values (header + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut s = format!("time_s\t{}\n", self.ylabel);
+        for (t, v) in &self.points {
+            s.push_str(&format!("{t:.3}\t{v:.3}\n"));
+        }
+        s
+    }
+
+    /// Terminal scatter plot.
+    pub fn to_ascii(&self, width: usize, height: usize) -> String {
+        ascii_scatter(&self.title, self.ylabel, &self.points, width, height)
+    }
+}
+
+/// Figure 1: baseline I/O requests — sector number vs time.
+pub fn fig1(baseline: &ExperimentResult) -> Scatter {
+    sector_scatter(baseline, "Figure 1. I/O Requests (baseline)")
+}
+
+/// Figure 2: PPM request size (KB) vs time.
+pub fn fig2(ppm: &ExperimentResult) -> Scatter {
+    size_scatter(ppm, "Figure 2. Request Size (PPM)")
+}
+
+/// Figure 3: wavelet request size (KB) vs time.
+pub fn fig3(wavelet: &ExperimentResult) -> Scatter {
+    size_scatter(wavelet, "Figure 3. Request Size (wavelet)")
+}
+
+/// Figure 4: N-body request size (KB) vs time.
+pub fn fig4(nbody: &ExperimentResult) -> Scatter {
+    size_scatter(nbody, "Figure 4. Request Size (N-Body)")
+}
+
+/// Figure 5: combined request size (KB) vs time.
+pub fn fig5(combined: &ExperimentResult) -> Scatter {
+    size_scatter(combined, "Figure 5. Request Size (combined)")
+}
+
+/// Figure 6: combined I/O requests — sector number vs time.
+pub fn fig6(combined: &ExperimentResult) -> Scatter {
+    sector_scatter(combined, "Figure 6. I/O Requests (combined)")
+}
+
+/// Figure 7: spatial locality — % of requests per 100 K-sector band.
+pub fn fig7(combined: &ExperimentResult) -> SpatialLocality {
+    combined.summary.spatial.clone()
+}
+
+/// Figure 8: temporal locality — per-sector access frequency.
+pub fn fig8(combined: &ExperimentResult) -> TemporalLocality {
+    combined.summary.temporal.clone()
+}
+
+/// Table 1: one row per experiment, preceded by the header.
+pub fn table1(results: &[&ExperimentResult]) -> String {
+    let mut s = String::new();
+    s.push_str(essio_trace::analysis::RwStats::table_header());
+    s.push('\n');
+    for r in results {
+        s.push_str(&r.table1_row());
+        s.push('\n');
+    }
+    s
+}
+
+fn size_scatter(r: &ExperimentResult, title: &str) -> Scatter {
+    let node = r.node_trace(FIGURE_NODE);
+    Scatter {
+        title: title.to_string(),
+        ylabel: "request_kb",
+        points: series::scatter_size(&node),
+    }
+}
+
+fn sector_scatter(r: &ExperimentResult, title: &str) -> Scatter {
+    let node = r.node_trace(FIGURE_NODE);
+    Scatter {
+        title: title.to_string(),
+        ylabel: "sector",
+        points: series::scatter_sector(&node)
+            .into_iter()
+            .map(|(t, s)| (t, s as f64))
+            .collect(),
+    }
+}
+
+/// Render a request-size class distribution as an ASCII bar chart
+/// (log-scaled bars so the 1 KB class doesn't drown the 16 KB tail).
+pub fn render_size_histogram(breakdown: &essio_trace::analysis::ClassBreakdown, width: usize) -> String {
+    use std::fmt::Write as _;
+    let width = width.max(10);
+    let mut out = String::from("request-size distribution:\n");
+    let max = breakdown.by_class.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    if max == 0 {
+        out.push_str("  (no requests)\n");
+        return out;
+    }
+    let scale = |n: u64| -> usize {
+        if n == 0 {
+            0
+        } else {
+            // log-scale bar length: 1 request → 1 char, max → full width.
+            let f = ((n as f64).ln() + 1.0) / ((max as f64).ln() + 1.0);
+            (f * width as f64).ceil() as usize
+        }
+    };
+    for (class, n) in &breakdown.by_class {
+        if *n == 0 {
+            continue;
+        }
+        let _ = writeln!(out, "  {:>9} |{:<width$}| {}", class.label(), "#".repeat(scale(*n)), n, width = width);
+    }
+    out
+}
+
+/// Render a scatter as an ASCII plot (dots; `*` where several points
+/// overlap).
+pub fn ascii_scatter(title: &str, ylabel: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let mut out = String::with_capacity((width + 12) * (height + 4));
+    out.push_str(title);
+    out.push('\n');
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![0u32; width]; height];
+    for &(x, y) in points {
+        let col = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64) as usize;
+        let row = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64) as usize;
+        grid[height - 1 - row][col.min(width - 1)] += 1;
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let yval = ymax - (ymax - ymin) * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{yval:>10.1} |"));
+        for &c in row {
+            out.push(match c {
+                0 => ' ',
+                1 => '.',
+                2..=4 => 'o',
+                _ => '*',
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}  {:<.1}{}{:>.1} s   (y: {})\n",
+        "",
+        xmin,
+        " ".repeat(width.saturating_sub(12)),
+        xmax,
+        ylabel
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+
+    #[test]
+    fn figure1_baseline_shape() {
+        let r = Experiment::baseline().quick().duration_secs(180).seed(11).run();
+        let f = fig1(&r);
+        assert!(!f.points.is_empty());
+        // All activity is writes at known regions: log area, metadata, or
+        // high sectors — "horizontal lines" in the scatter.
+        for &(t, sector) in &f.points {
+            assert!(t <= 180.0 + 1e-9);
+            let s = sector as u32;
+            let known = s < 8_000 || (40_000..60_000).contains(&s) || s >= 940_000;
+            assert!(known, "unexpected baseline sector {s}");
+        }
+        let tsv = f.to_tsv();
+        assert!(tsv.starts_with("time_s\tsector"));
+        let ascii = f.to_ascii(60, 16);
+        assert!(ascii.contains("Figure 1"));
+    }
+
+    #[test]
+    fn figure3_wavelet_has_read_spike_and_lull() {
+        let r = Experiment::wavelet().quick().seed(12).run();
+        let f = fig3(&r);
+        let max_kb = f.points.iter().map(|p| p.1).fold(0.0, f64::max);
+        assert!(max_kb >= 8.0, "streaming reads should reach ≥8 KB, got {max_kb}");
+        // 4 KB paging present.
+        assert!(f.points.iter().any(|p| (p.1 - 4.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn size_histogram_renders_populated_classes_log_scaled() {
+        use essio_trace::analysis::ClassBreakdown;
+        use essio_trace::{Op, Origin, TraceRecord};
+        let mk = |kib: u32, n: usize| -> Vec<TraceRecord> {
+            (0..n)
+                .map(|i| TraceRecord {
+                    ts: i as u64,
+                    sector: 0,
+                    nsectors: (kib * 2) as u16,
+                    pending: 0,
+                    node: 0,
+                    op: Op::Write,
+                    origin: Origin::Unknown,
+                })
+                .collect()
+        };
+        let mut recs = mk(1, 1000);
+        recs.extend(mk(4, 10));
+        let b = ClassBreakdown::compute(&recs);
+        let chart = render_size_histogram(&b, 40);
+        assert!(chart.contains("1K"));
+        assert!(chart.contains("4K(page)"));
+        assert!(!chart.contains(">16K"), "empty classes omitted");
+        // Log scaling keeps the minority class visible (bar length > 25% of
+        // the majority's despite a 100x count ratio).
+        let bars: Vec<usize> = chart.lines().skip(1).map(|l| l.matches('#').count()).collect();
+        assert!(bars[1] * 4 > bars[0], "bars {bars:?}");
+        // Empty input.
+        let empty = render_size_histogram(&ClassBreakdown::compute(&[]), 40);
+        assert!(empty.contains("no requests"));
+    }
+
+    #[test]
+    fn ascii_scatter_handles_degenerate_input() {
+        let s = ascii_scatter("t", "y", &[], 40, 10);
+        assert!(s.contains("no data"));
+        let s = ascii_scatter("t", "y", &[(1.0, 1.0)], 40, 10);
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    fn table1_renders_rows_for_each_experiment() {
+        let base = Experiment::baseline().quick().duration_secs(60).seed(13).run();
+        let nb = Experiment::nbody().quick().seed(13).run();
+        let t = table1(&[&base, &nb]);
+        assert!(t.contains("Baseline"));
+        assert!(t.contains("N-Body"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

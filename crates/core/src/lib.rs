@@ -1,0 +1,51 @@
+//! # essio — the experiment layer of the ESS I/O characterization study
+//!
+//! Everything below this crate is a subsystem (`essio-sim`, `essio-disk`,
+//! `essio-kernel`, `essio-net`, `essio-pfs`, `essio-apps`); this crate
+//! assembles them into the measured artifact — a 16-node Beowulf — and
+//! reruns the paper's five experiments:
+//!
+//! * [`cluster`] — the world model: nodes (kernel + instrumented disk +
+//!   hosted processes), the PVM interconnect, and the discrete-event loop
+//!   that coordinates them.
+//! * [`workloads`] — experiment assets: the synthetic 512×512 image
+//!   standing in for the Landsat scene, executable images, and the glue
+//!   that spawns each NASA application on every node.
+//! * [`experiment`] — the five experiments of paper §3.5 (baseline, PPM,
+//!   wavelet, N-body, combined) plus ablation variants, producing an
+//!   [`experiment::ExperimentResult`] with the full trace and summary.
+//! * [`figures`] — regenerates the data behind every figure and table in
+//!   the paper's §4 (Figures 1–8, Table 1).
+//! * [`model`] — the paper's stated next step (§5): condensing a measured
+//!   trace into a parameter set (request-size mix, read/write ratio,
+//!   spatial profile, rate) that can *regenerate* synthetic workloads, with
+//!   a validation harness comparing synthetic to measured.
+//! * [`pfsio`] — the PIOUS extension experiment: coordinated parallel file
+//!   I/O declustered over the node disks.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use essio::prelude::*;
+//!
+//! let result = Experiment::baseline().duration_secs(120).run();
+//! println!("{}", result.summary.report("baseline"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod experiment;
+pub mod figures;
+pub mod model;
+pub mod pfsio;
+pub mod workloads;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::cluster::{Beowulf, BeowulfConfig};
+    pub use crate::experiment::{Experiment, ExperimentKind, ExperimentResult};
+    pub use crate::figures;
+    pub use crate::model::WorkloadModel;
+    pub use essio_trace::analysis::TraceSummary;
+}

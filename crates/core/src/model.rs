@@ -1,0 +1,264 @@
+//! The paper's "next step": a workload parameter set.
+//!
+//! §5 closes with: *"Our next step is to integrate these data into a
+//! parameter set that can be used for system design and tuning of parallel
+//! systems and applications."* This module implements that step.
+//!
+//! [`WorkloadModel::fit`] condenses a measured trace into the
+//! characterization parameters the paper identifies as the workload's
+//! essence: request rate, read/write mix, the request-size distribution
+//! (1 KB / 2 KB / 4 KB / cache-scale classes), and the spatial distribution
+//! over sector bands. [`WorkloadModel::synthesize`] then *regenerates* a
+//! synthetic trace from those parameters (Poisson arrivals, independent
+//! draws), and [`WorkloadModel::validate`] quantifies how well the
+//! synthetic stream matches a reference trace — the fidelity check a
+//! system designer would demand before tuning against the model.
+//!
+//! Known (documented) model limitation, faithful to what a marginal-
+//! distribution parameter set can carry: temporal *correlations* (phase
+//! structure like the wavelet read spike) are not preserved — only the
+//! stationary mixture is. `validate` therefore compares marginals.
+
+use serde::Serialize;
+
+use essio_sim::{SimRng, SimTime};
+use essio_trace::{Op, Origin, TraceRecord};
+
+/// Band width used for the spatial component of the parameter set.
+pub const MODEL_BAND_SECTORS: u32 = 50_000;
+
+/// A fitted workload parameter set.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadModel {
+    /// Mean request arrival rate, requests/second (whole cluster).
+    pub rate_per_s: f64,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Request-length distribution: `(nsectors, probability)`.
+    pub size_mix: Vec<(u16, f64)>,
+    /// Spatial distribution: `(band_start_sector, probability)`.
+    pub band_mix: Vec<(u32, f64)>,
+    /// Number of distinct nodes seen in the fitted trace.
+    pub nodes: u8,
+}
+
+/// Marginal-distribution distance between a model and a trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct Validation {
+    /// Chi-square statistic over the size distribution.
+    pub size_chi2: f64,
+    /// Chi-square statistic over the band distribution.
+    pub band_chi2: f64,
+    /// Relative request-rate error.
+    pub rate_rel_err: f64,
+    /// Absolute read-fraction error.
+    pub read_frac_err: f64,
+}
+
+impl Validation {
+    /// A loose acceptance gate: marginals agree to the given tolerances.
+    pub fn acceptable(&self) -> bool {
+        self.rate_rel_err < 0.15 && self.read_frac_err < 0.1
+    }
+}
+
+impl WorkloadModel {
+    /// Fit the parameter set from a measured trace spanning `duration`.
+    pub fn fit(records: &[TraceRecord], duration: SimTime) -> WorkloadModel {
+        assert!(!records.is_empty(), "cannot fit an empty trace");
+        let duration_s = (duration as f64 / 1e6).max(1e-9);
+        let n = records.len() as f64;
+        let reads = records.iter().filter(|r| r.op == Op::Read).count() as f64;
+
+        let mut size_counts: std::collections::BTreeMap<u16, u64> = Default::default();
+        let mut band_counts: std::collections::BTreeMap<u32, u64> = Default::default();
+        let mut nodes: std::collections::BTreeSet<u8> = Default::default();
+        for r in records {
+            *size_counts.entry(r.nsectors).or_insert(0) += 1;
+            *band_counts.entry(r.sector / MODEL_BAND_SECTORS * MODEL_BAND_SECTORS).or_insert(0) += 1;
+            nodes.insert(r.node);
+        }
+        WorkloadModel {
+            rate_per_s: n / duration_s,
+            read_fraction: reads / n,
+            size_mix: size_counts.into_iter().map(|(s, c)| (s, c as f64 / n)).collect(),
+            band_mix: band_counts.into_iter().map(|(b, c)| (b, c as f64 / n)).collect(),
+            nodes: nodes.len() as u8,
+        }
+    }
+
+    /// Generate a synthetic trace of `duration_s` seconds from the model.
+    pub fn synthesize(&self, seed: u64, duration_s: f64) -> Vec<TraceRecord> {
+        let mut rng = SimRng::new(seed);
+        let mut out = Vec::with_capacity((self.rate_per_s * duration_s) as usize + 16);
+        let mean_gap = 1.0 / self.rate_per_s.max(1e-9);
+        let mut t = 0.0f64;
+        loop {
+            t += rng.exp(mean_gap);
+            if t >= duration_s {
+                break;
+            }
+            let nsectors = sample(&self.size_mix, &mut rng);
+            let band = sample(&self.band_mix, &mut rng);
+            let sector = band + rng.below(MODEL_BAND_SECTORS as u64) as u32;
+            let op = if rng.chance(self.read_fraction) { Op::Read } else { Op::Write };
+            out.push(TraceRecord {
+                ts: (t * 1e6) as u64,
+                sector,
+                nsectors,
+                pending: 0,
+                node: rng.below(self.nodes.max(1) as u64) as u8,
+                op,
+                origin: Origin::Unknown,
+            });
+        }
+        out
+    }
+
+    /// Compare the model's marginals against a reference trace.
+    pub fn validate(&self, reference: &[TraceRecord], duration: SimTime) -> Validation {
+        let other = WorkloadModel::fit(reference, duration);
+        Validation {
+            size_chi2: chi2(&self.size_mix, &other.size_mix, reference.len() as f64),
+            band_chi2: chi2(
+                &self.band_mix.iter().map(|(b, p)| (*b as u16, *p)).collect::<Vec<_>>(),
+                &other.band_mix.iter().map(|(b, p)| (*b as u16, *p)).collect::<Vec<_>>(),
+                reference.len() as f64,
+            ),
+            rate_rel_err: (self.rate_per_s - other.rate_per_s).abs() / self.rate_per_s.max(1e-9),
+            read_frac_err: (self.read_fraction - other.read_fraction).abs(),
+        }
+    }
+
+    /// JSON form of the parameter set (what a tuning tool would ingest).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model serializes")
+    }
+}
+
+fn sample<T: Copy>(mix: &[(T, f64)], rng: &mut SimRng) -> T {
+    debug_assert!(!mix.is_empty());
+    let mut u = rng.f64();
+    for (v, p) in mix {
+        if u < *p {
+            return *v;
+        }
+        u -= p;
+    }
+    mix.last().expect("non-empty mix").0
+}
+
+/// Pearson chi-square of `observed` against `expected`, both given as
+/// probability mixes over possibly different supports, scaled by `n`.
+fn chi2<T: Copy + Ord>(expected: &[(T, f64)], observed: &[(T, f64)], n: f64) -> f64 {
+    use std::collections::BTreeMap;
+    let e: BTreeMap<T, f64> = expected.iter().copied().collect();
+    let o: BTreeMap<T, f64> = observed.iter().copied().collect();
+    let mut keys: Vec<T> = e.keys().chain(o.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut stat = 0.0;
+    for k in keys {
+        let pe = e.get(&k).copied().unwrap_or(1e-9);
+        let po = o.get(&k).copied().unwrap_or(0.0);
+        stat += n * (po - pe) * (po - pe) / pe;
+    }
+    stat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts_s: f64, sector: u32, nsectors: u16, read: bool) -> TraceRecord {
+        TraceRecord {
+            ts: (ts_s * 1e6) as u64,
+            sector,
+            nsectors,
+            pending: 0,
+            node: 0,
+            op: if read { Op::Read } else { Op::Write },
+            origin: Origin::Unknown,
+        }
+    }
+
+    fn reference_trace() -> Vec<TraceRecord> {
+        let mut rng = SimRng::new(42);
+        let mut t = 0.0;
+        let mut out = Vec::new();
+        while t < 500.0 {
+            t += rng.exp(0.5); // ~2 req/s
+            let (sector, nsectors, read) = if rng.chance(0.6) {
+                (45_000 + rng.below(1000) as u32, 2u16, false)
+            } else if rng.chance(0.5) {
+                (399_000 + rng.below(500) as u32, 8, rng.chance(0.5))
+            } else {
+                (100_000 + rng.below(50_000) as u32, 32, true)
+            };
+            out.push(rec(t, sector, nsectors, read));
+        }
+        out
+    }
+
+    #[test]
+    fn fit_recovers_basic_parameters() {
+        let trace = reference_trace();
+        let m = WorkloadModel::fit(&trace, 500_000_000);
+        assert!((m.rate_per_s - 2.0).abs() < 0.3, "rate {}", m.rate_per_s);
+        assert!(m.read_fraction > 0.1 && m.read_fraction < 0.6);
+        let psum: f64 = m.size_mix.iter().map(|(_, p)| p).sum();
+        assert!((psum - 1.0).abs() < 1e-9);
+        let bsum: f64 = m.band_mix.iter().map(|(_, p)| p).sum();
+        assert!((bsum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthesize_matches_fitted_marginals() {
+        let trace = reference_trace();
+        let m = WorkloadModel::fit(&trace, 500_000_000);
+        let synthetic = m.synthesize(7, 500.0);
+        assert!(!synthetic.is_empty());
+        let v = m.validate(&synthetic, 500_000_000);
+        assert!(v.acceptable(), "{v:?}");
+        // Timestamps ordered and bounded.
+        for w in synthetic.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+        assert!(synthetic.last().unwrap().ts < 500_000_000);
+    }
+
+    #[test]
+    fn validation_rejects_a_wrong_model() {
+        let trace = reference_trace();
+        let m = WorkloadModel::fit(&trace, 500_000_000);
+        // A trace with triple the rate and inverted op mix.
+        let wrong: Vec<TraceRecord> = (0..3000)
+            .map(|i| rec(i as f64 / 6.0, 500_000, 64, true))
+            .collect();
+        let v = m.validate(&wrong, 500_000_000);
+        assert!(!v.acceptable(), "{v:?}");
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let trace = reference_trace();
+        let m = WorkloadModel::fit(&trace, 500_000_000);
+        assert_eq!(m.synthesize(1, 50.0), m.synthesize(1, 50.0));
+        assert_ne!(m.synthesize(1, 50.0), m.synthesize(2, 50.0));
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let trace = reference_trace();
+        let m = WorkloadModel::fit(&trace, 500_000_000);
+        let json = m.to_json();
+        assert!(json.contains("rate_per_s"));
+        assert!(json.contains("size_mix"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_fit_panics() {
+        WorkloadModel::fit(&[], 1_000_000);
+    }
+}

@@ -1,0 +1,165 @@
+//! The on-disk address map.
+//!
+//! Figure 1 of the paper shows baseline activity as horizontal lines at low
+//! *and* high sector numbers ("logging and table lookup activities"); Figure
+//! 8 finds the hottest sector near 45,000 and the runner-up just below
+//! 400,000. §4.3 explains the low-sector clumping: "user programs and data,
+//! swap file space, and kernel file data mainly residing in these locations".
+//! This module pins those locations down as an explicit region map that the
+//! simulated filesystem and swap allocator place data into.
+
+use essio_trace::SECTOR_BYTES;
+
+/// Logical region of the disk address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Superblock, bitmaps, inode tables (lowest sectors).
+    Metadata,
+    /// System log files (`/var/log`) — the paper's sector-45,000 hot spot.
+    Log,
+    /// User programs, data files, output files.
+    UserData,
+    /// Swap partition; allocated top-down so the hottest slots sit just
+    /// below the region's upper bound (the paper's second hot spot).
+    Swap,
+    /// High-sector system area: kernel tables and the instrumentation's own
+    /// trace spool (baseline's high-sector horizontal lines).
+    HighSystem,
+}
+
+/// Sector ranges for every region of one node disk.
+#[derive(Debug, Clone)]
+pub struct DiskLayout {
+    /// Total sectors on the device.
+    pub total_sectors: u32,
+    /// `[start, end)` of the metadata area.
+    pub metadata: (u32, u32),
+    /// `[start, end)` of the log area.
+    pub log: (u32, u32),
+    /// `[start, end)` of the user data area.
+    pub user: (u32, u32),
+    /// `[start, end)` of the swap area.
+    pub swap: (u32, u32),
+    /// `[start, end)` of the high system area.
+    pub high: (u32, u32),
+}
+
+impl DiskLayout {
+    /// The Beowulf node layout used throughout the study reproduction.
+    pub fn beowulf_500mb() -> Self {
+        Self {
+            total_sectors: 999_936,
+            metadata: (0, 8_000),
+            log: (40_000, 60_000),
+            user: (60_000, 300_000),
+            swap: (300_000, 400_000),
+            high: (940_000, 999_936),
+        }
+    }
+
+    /// Which region a sector belongs to. Sectors in no named region (the
+    /// unallocated middle of the disk) count as user space, where a fuller
+    /// filesystem would spill.
+    pub fn region_of(&self, sector: u32) -> Region {
+        let within = |(s, e): (u32, u32)| sector >= s && sector < e;
+        if within(self.metadata) {
+            Region::Metadata
+        } else if within(self.log) {
+            Region::Log
+        } else if within(self.swap) {
+            Region::Swap
+        } else if within(self.high) {
+            Region::HighSystem
+        } else {
+            Region::UserData
+        }
+    }
+
+    /// `[start, end)` sector range of a region.
+    pub fn range(&self, region: Region) -> (u32, u32) {
+        match region {
+            Region::Metadata => self.metadata,
+            Region::Log => self.log,
+            Region::UserData => self.user,
+            Region::Swap => self.swap,
+            Region::HighSystem => self.high,
+        }
+    }
+
+    /// Size of a region in 1 KiB filesystem blocks.
+    pub fn blocks(&self, region: Region) -> u32 {
+        let (s, e) = self.range(region);
+        (e - s) * SECTOR_BYTES / 1024
+    }
+
+    /// Internal consistency: ordered, non-overlapping, in-bounds regions.
+    pub fn validate(&self) -> Result<(), String> {
+        let ranges = [self.metadata, self.log, self.user, self.swap, self.high];
+        for (i, (s, e)) in ranges.iter().enumerate() {
+            if s >= e {
+                return Err(format!("region {i} is empty or inverted"));
+            }
+            if *e > self.total_sectors {
+                return Err(format!("region {i} exceeds device"));
+            }
+        }
+        for w in ranges.windows(2) {
+            if w[0].1 > w[1].0 {
+                return Err("regions overlap or are out of order".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beowulf_layout_is_valid() {
+        DiskLayout::beowulf_500mb().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_hot_spots_fall_in_the_right_regions() {
+        let l = DiskLayout::beowulf_500mb();
+        // Figure 8: hottest ≈ 45,000 → the log area.
+        assert_eq!(l.region_of(45_000), Region::Log);
+        // Second hottest "just under 400,000" → top of swap.
+        assert_eq!(l.region_of(399_990), Region::Swap);
+    }
+
+    #[test]
+    fn region_boundaries_are_half_open() {
+        let l = DiskLayout::beowulf_500mb();
+        assert_eq!(l.region_of(7_999), Region::Metadata);
+        assert_eq!(l.region_of(8_000), Region::UserData); // gap → user
+        assert_eq!(l.region_of(39_999), Region::UserData);
+        assert_eq!(l.region_of(40_000), Region::Log);
+        assert_eq!(l.region_of(400_000), Region::UserData);
+        assert_eq!(l.region_of(940_000), Region::HighSystem);
+    }
+
+    #[test]
+    fn block_counts() {
+        let l = DiskLayout::beowulf_500mb();
+        // Log region: 20,000 sectors = 10,000 KiB blocks.
+        assert_eq!(l.blocks(Region::Log), 10_000);
+    }
+
+    #[test]
+    fn invalid_layouts_are_rejected() {
+        let mut l = DiskLayout::beowulf_500mb();
+        l.log = (60_000, 50_000);
+        assert!(l.validate().is_err());
+
+        let mut l = DiskLayout::beowulf_500mb();
+        l.high = (990_000, 2_000_000);
+        assert!(l.validate().is_err());
+
+        let mut l = DiskLayout::beowulf_500mb();
+        l.swap = (250_000, 400_000); // overlaps user
+        assert!(l.validate().is_err());
+    }
+}

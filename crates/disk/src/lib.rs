@@ -1,0 +1,34 @@
+//! # essio-disk — the instrumented IDE disk subsystem
+//!
+//! Models the per-node 500 MB IDE drive of the Beowulf prototype and the
+//! Linux-style driver in front of it, **including the paper's actual
+//! instrument**: trace hooks in the driver's read/write dispatch path
+//! (paper §3.4). Submodules:
+//!
+//! * [`geometry`] — platter geometry (cylinders/heads/sectors) used by the
+//!   seek model.
+//! * [`layout`] — the on-disk address map (metadata, log area near sector
+//!   45,000, user data, swap just below sector 400,000, high-sector system
+//!   area). Figure 1/6/8 features are locations in this map.
+//! * [`timing`] — service-time model: seek + rotation + transfer + controller
+//!   overhead, with deterministic fault injection for retry paths.
+//! * [`sched`] — the request queue: FIFO or LOOK elevator, with Linux-style
+//!   front/back merging of contiguous requests. Merging is load-bearing for
+//!   the study: it is what turns streams of 1 KB blocks into the 2 KB, 4 KB
+//!   and 16 KB+ physical requests the paper observes.
+//! * [`driver`] — the instrumented driver: dispatch loop, trace capture with
+//!   the ioctl level control, per-drive statistics.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod geometry;
+pub mod layout;
+pub mod sched;
+pub mod timing;
+
+pub use driver::{BlockRequest, Completion, DriverStats, IdeDriver, ReqToken, SubmitOutcome};
+pub use geometry::DiskGeometry;
+pub use layout::{DiskLayout, Region};
+pub use sched::{QueuedRequest, RequestQueue, SchedPolicy};
+pub use timing::TimingModel;

@@ -1,0 +1,190 @@
+//! Sequential read-ahead.
+//!
+//! Paper §4.2 explains the wavelet run's large requests: *"Requests
+//! approaching 16 KB are observed during this period, and are a result of
+//! the 16 KB cache on Beowulf. As a stream of data is being read at this
+//! point of execution, cache is repeatedly filled with the new data."* and
+//! §4.3 attributes the combined run's 16–32 KB requests to *"an increased
+//! I/O buffer size when the wavelet data file is read."*
+//!
+//! Mechanically (as in Linux), the driver-visible large requests come from a
+//! per-file read-ahead window that doubles on each sequential access — 1 KB
+//! → 2 KB → 4 KB → 8 KB → 16 KB — and is *re-armed in full-window units*:
+//! when the reader has consumed to within half a window of the prefetched
+//! frontier, the kernel issues one window-sized read starting there. The
+//! steady state is therefore periodic cache-filling transfers at the window
+//! cap (16 KB), "repeatedly filled with the new data" exactly as the paper
+//! describes. The cap rises to 32 KB when more than two streams are active
+//! (the "increased I/O buffer size" of the combined run).
+
+/// Normal cap: 16 blocks = 16 KB (the node's cache-block scale).
+pub const WINDOW_CAP: u32 = 16;
+/// Cap under multiprogramming (more than [`BOOST_STREAMS`] co-resident
+/// user processes — the combined experiment's three applications).
+pub const WINDOW_CAP_BOOSTED: u32 = 32;
+/// Multiprogramming level above which the boosted cap applies.
+pub const BOOST_STREAMS: usize = 2;
+
+/// A prefetch order: fetch `blocks` 1 KB blocks starting at byte `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prefetch {
+    /// File byte offset the prefetch begins at.
+    pub start: u64,
+    /// Number of blocks to fetch.
+    pub blocks: u32,
+}
+
+/// Per-open-file read-ahead state.
+#[derive(Debug, Clone)]
+pub struct ReadAhead {
+    /// Next byte offset a perfectly sequential reader would ask for.
+    expected_offset: u64,
+    /// Current window, in 1 KB blocks.
+    window: u32,
+    /// File offset up to which prefetches have been issued.
+    frontier: u64,
+}
+
+impl Default for ReadAhead {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadAhead {
+    /// Fresh state: no history, minimal window.
+    pub fn new() -> Self {
+        Self { expected_offset: 0, window: 1, frontier: 0 }
+    }
+
+    /// Record a read of `len` bytes at `offset`. Returns a [`Prefetch`]
+    /// order when the stream is sequential and has consumed to within half
+    /// a window of the prefetched frontier; `None` otherwise (including on
+    /// any non-sequential access, which collapses the window).
+    pub fn on_read(&mut self, offset: u64, len: u32, cap: u32) -> Option<Prefetch> {
+        let sequential = offset == self.expected_offset;
+        let demand_end = offset + len as u64;
+        self.expected_offset = demand_end;
+        if !sequential || cap == 0 {
+            self.window = 1;
+            self.frontier = demand_end;
+            return None;
+        }
+        self.window = (self.window * 2).min(cap.max(1));
+        if self.frontier < demand_end {
+            self.frontier = demand_end;
+        }
+        let headroom = self.frontier - demand_end;
+        if headroom <= self.window as u64 * 1024 / 2 {
+            let start = self.frontier;
+            let blocks = self.window;
+            self.frontier = start + blocks as u64 * 1024;
+            Some(Prefetch { start, blocks })
+        } else {
+            None
+        }
+    }
+
+    /// Current window in blocks.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The cap given the number of concurrently reading streams.
+    pub fn cap_for(active_streams: usize) -> u32 {
+        if active_streams > BOOST_STREAMS {
+            WINDOW_CAP_BOOSTED
+        } else {
+            WINDOW_CAP
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Stream a file 1 KB at a time, collecting prefetch orders.
+    fn stream(ra: &mut ReadAhead, reads: u64, cap: u32) -> Vec<Prefetch> {
+        (0..reads)
+            .filter_map(|i| ra.on_read(i * 1024, 1024, cap))
+            .collect()
+    }
+
+    #[test]
+    fn window_grows_then_steady_state_is_cap_sized() {
+        let mut ra = ReadAhead::new();
+        let orders = stream(&mut ra, 64, WINDOW_CAP);
+        let sizes: Vec<u32> = orders.iter().map(|p| p.blocks).collect();
+        // Growth phase doubles; steady state repeats at the 16-block cap.
+        assert_eq!(&sizes[..4], &[2, 4, 8, 16]);
+        assert!(sizes[4..].iter().all(|&b| b == 16), "{sizes:?}");
+    }
+
+    #[test]
+    fn prefetches_tile_the_file_without_overlap() {
+        let mut ra = ReadAhead::new();
+        let orders = stream(&mut ra, 64, WINDOW_CAP);
+        let mut expected_start = 1024; // first prefetch begins after read 0
+        for p in &orders {
+            assert_eq!(p.start, expected_start, "contiguous tiling");
+            expected_start = p.start + p.blocks as u64 * 1024;
+        }
+        assert!(expected_start >= 64 * 1024, "frontier stays ahead of the reader");
+    }
+
+    #[test]
+    fn random_access_resets_window() {
+        let mut ra = ReadAhead::new();
+        ra.on_read(0, 1024, WINDOW_CAP);
+        ra.on_read(1024, 1024, WINDOW_CAP);
+        assert_eq!(ra.window(), 4);
+        assert_eq!(ra.on_read(900_000, 1024, WINDOW_CAP), None);
+        assert_eq!(ra.window(), 1);
+        // Sequentiality from the new position rebuilds the window.
+        let p = ra.on_read(901_024, 1024, WINDOW_CAP).expect("re-armed");
+        assert_eq!(p.blocks, 2);
+        assert_eq!(p.start, 902_048);
+    }
+
+    #[test]
+    fn first_read_at_zero_counts_as_sequential() {
+        let mut ra = ReadAhead::new();
+        let p = ra.on_read(0, 4096, WINDOW_CAP).expect("prefetch after first read");
+        assert_eq!(p.start, 4096);
+        assert_eq!(p.blocks, 2);
+    }
+
+    #[test]
+    fn zero_cap_disables_prefetch() {
+        let mut ra = ReadAhead::new();
+        for i in 0..10 {
+            assert_eq!(ra.on_read(i * 1024, 1024, 0), None);
+        }
+        assert_eq!(ra.window(), 1);
+    }
+
+    #[test]
+    fn boosted_cap_reaches_32k_windows() {
+        assert_eq!(ReadAhead::cap_for(1), WINDOW_CAP);
+        assert_eq!(ReadAhead::cap_for(2), WINDOW_CAP);
+        assert_eq!(ReadAhead::cap_for(3), WINDOW_CAP_BOOSTED);
+        let mut ra = ReadAhead::new();
+        let orders = stream(&mut ra, 128, WINDOW_CAP_BOOSTED);
+        assert!(orders.iter().any(|p| p.blocks == 32), "32 KB windows under boost");
+    }
+
+    #[test]
+    fn big_sequential_reads_also_rearm() {
+        // An 8 KB-chunk reader still gets window-cap prefetches.
+        let mut ra = ReadAhead::new();
+        let mut orders = Vec::new();
+        for i in 0..16u64 {
+            if let Some(p) = ra.on_read(i * 8192, 8192, WINDOW_CAP) {
+                orders.push(p);
+            }
+        }
+        assert!(!orders.is_empty());
+        assert!(orders.iter().all(|p| p.blocks <= WINDOW_CAP));
+    }
+}

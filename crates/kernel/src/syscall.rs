@@ -1,0 +1,215 @@
+//! The syscall surface presented to simulated processes.
+//!
+//! Deliberately small — it is the set of calls the three NASA workloads and
+//! the experiment harness actually need (stateless `ReadAt`/`WriteAt`
+//! instead of seek+read keeps the kernel-side bookkeeping honest; the
+//! read-ahead logic detects sequentiality from offsets exactly as Linux
+//! did).
+
+/// Process identifier.
+pub type Pid = u32;
+/// Open-file descriptor.
+pub type Fd = u32;
+/// Inode number.
+pub type Ino = u32;
+
+/// Where a newly created file's data blocks should be placed on disk.
+///
+/// Mirrors ext2's block-group placement policy, reduced to the regions of
+/// [`essio_disk::DiskLayout`]: this is what makes log traffic land near
+/// sector 45,000 and user data in the low-middle of the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Log area (`/var/log`).
+    Log,
+    /// User data area.
+    User,
+    /// High-sector system area.
+    High,
+}
+
+/// A syscall request.
+#[derive(Debug, Clone)]
+pub enum Syscall {
+    /// Open (optionally creating) a file.
+    Open {
+        /// Absolute path.
+        path: String,
+        /// Create if missing.
+        create: bool,
+        /// Placement hint used when creating.
+        placement: Placement,
+    },
+    /// Close a descriptor.
+    Close {
+        /// Descriptor to close.
+        fd: Fd,
+    },
+    /// Read `len` bytes at `offset`.
+    ReadAt {
+        /// Descriptor.
+        fd: Fd,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes requested.
+        len: u32,
+    },
+    /// Write bytes at `offset` (write-back through the buffer cache).
+    WriteAt {
+        /// Descriptor.
+        fd: Fd,
+        /// Byte offset.
+        offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Append bytes at end-of-file.
+    Append {
+        /// Descriptor.
+        fd: Fd,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Block until every dirty block of this file reaches the disk.
+    Fsync {
+        /// Descriptor.
+        fd: Fd,
+    },
+    /// File metadata by path.
+    Stat {
+        /// Absolute path.
+        path: String,
+    },
+    /// Remove a file.
+    Unlink {
+        /// Absolute path.
+        path: String,
+    },
+    /// Map `pages` anonymous 4 KB pages; returns the base VPN.
+    MapAnon {
+        /// Page count.
+        pages: u32,
+    },
+    /// Map an executable's text image for demand paging; returns base + len.
+    MapText {
+        /// Path of the executable file.
+        path: String,
+    },
+    /// Emit a message through syslogd (lands in `/var/log/messages`).
+    LogMsg {
+        /// Message length in bytes.
+        len: u32,
+    },
+    /// Schedule all dirty buffers for write-out and wait for them.
+    Sync,
+}
+
+/// Syscall error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysError {
+    /// Path does not exist.
+    NotFound,
+    /// Bad file descriptor.
+    BadFd,
+    /// Out of blocks / swap / address space.
+    NoSpace,
+    /// Malformed request (e.g. read beyond EOF treated as short read, but
+    /// zero-length map etc. are invalid).
+    Invalid,
+}
+
+impl std::fmt::Display for SysError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SysError::NotFound => "no such file",
+            SysError::BadFd => "bad file descriptor",
+            SysError::NoSpace => "no space",
+            SysError::Invalid => "invalid argument",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Syscall response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysResult {
+    /// New descriptor.
+    Fd(Fd),
+    /// Read data (short at EOF).
+    Data(Vec<u8>),
+    /// Bytes written.
+    Written(u32),
+    /// New mapping.
+    Mapped {
+        /// First virtual page of the mapping.
+        base: u64,
+        /// Pages mapped.
+        pages: u32,
+    },
+    /// Stat result.
+    Stat {
+        /// File size in bytes.
+        size: u64,
+    },
+    /// Success, no payload.
+    Unit,
+    /// Failure.
+    Err(SysError),
+}
+
+impl SysResult {
+    /// Unwrap a descriptor, panicking with context otherwise (app code).
+    pub fn fd(self) -> Fd {
+        match self {
+            SysResult::Fd(fd) => fd,
+            other => panic!("expected Fd, got {other:?}"),
+        }
+    }
+
+    /// Unwrap read data.
+    pub fn data(self) -> Vec<u8> {
+        match self {
+            SysResult::Data(d) => d,
+            other => panic!("expected Data, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a mapping base.
+    pub fn mapped(self) -> (u64, u32) {
+        match self {
+            SysResult::Mapped { base, pages } => (base, pages),
+            other => panic!("expected Mapped, got {other:?}"),
+        }
+    }
+
+    /// True on any non-`Err` variant.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, SysResult::Err(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_unwrappers() {
+        assert_eq!(SysResult::Fd(3).fd(), 3);
+        assert_eq!(SysResult::Data(vec![1, 2]).data(), vec![1, 2]);
+        assert_eq!(SysResult::Mapped { base: 10, pages: 2 }.mapped(), (10, 2));
+        assert!(SysResult::Unit.is_ok());
+        assert!(!SysResult::Err(SysError::NotFound).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Fd")]
+    fn wrong_unwrap_panics() {
+        SysResult::Unit.fd();
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(SysError::NotFound.to_string(), "no such file");
+        assert_eq!(SysError::NoSpace.to_string(), "no space");
+    }
+}

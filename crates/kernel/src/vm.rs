@@ -1,0 +1,480 @@
+//! Virtual memory: demand paging over a fixed frame pool.
+//!
+//! Every 4 KB request in the paper's figures comes from this subsystem:
+//! text page-ins while a program builds its working set (the wavelet startup
+//! burst, §4.2), swap-outs under pressure, and swap-ins on re-reference.
+//! The model:
+//!
+//! * A global pool of 4 KB frames (16 MB minus the kernel's own footprint).
+//! * Per-process segments: **text** (demand-paged from the executable file,
+//!   clean, droppable) and **anonymous** (data/heap; considered dirty once
+//!   touched, so eviction writes a 4 KB swap page).
+//! * Clock (second-chance) replacement over all resident pages.
+//! * Swap slots allocated **top-down** from the upper end of the swap
+//!   region, placing the hottest slots just under sector 400,000 — the
+//!   paper's second temporal hot spot (Figure 8).
+//!
+//! The VM mutates its state synchronously and returns the I/O the kernel
+//! must issue ([`FaultIo`], plus any swap-out write-backs), keeping this
+//! module independently testable.
+
+use std::collections::{HashMap, VecDeque};
+
+use essio_disk::DiskLayout;
+use essio_sim::Vpn;
+
+use crate::syscall::{Ino, Pid};
+
+/// Page size in bytes.
+pub const PAGE_BYTES: u32 = 4096;
+/// Sectors per page.
+pub const SECTORS_PER_PAGE: u32 = PAGE_BYTES / essio_trace::SECTOR_BYTES;
+
+/// What kind of backing a resident page has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageKind {
+    Text,
+    Anon,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    kind: PageKind,
+    referenced: bool,
+}
+
+/// A mapped region of a process address space.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// First page.
+    pub base: Vpn,
+    /// Length in pages.
+    pub pages: u32,
+    /// Text (file-backed, by inode) or anonymous.
+    pub text_ino: Option<Ino>,
+}
+
+/// The blocking I/O a fault needs before the page is usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultIo {
+    /// Zero-fill: no I/O, the fault costs only CPU.
+    None,
+    /// Read a 4 KB page back from swap slot `slot`.
+    SwapIn {
+        /// Swap slot index.
+        slot: u32,
+    },
+    /// Read the 4 KB page `page` of executable `ino`.
+    PageIn {
+        /// Executable file.
+        ino: Ino,
+        /// Page index within the file.
+        page: u32,
+    },
+}
+
+/// Result of touching one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TouchResult {
+    /// Page resident; reference bit refreshed.
+    Hit,
+    /// Fault. State is already updated; the kernel must issue `io` (if any)
+    /// and `swap_outs` (async writes of evicted dirty pages, by slot).
+    Fault {
+        /// Blocking fill I/O.
+        io: FaultIo,
+        /// Swap slots to write for evicted anonymous pages.
+        swap_outs: Vec<u32>,
+    },
+    /// Touch of an unmapped address (app bug — treated as fatal).
+    BadAddress,
+    /// Swap exhausted; the process cannot make progress.
+    OutOfMemory,
+}
+
+/// Paging statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmStats {
+    /// Resident hits.
+    pub hits: u64,
+    /// Total faults.
+    pub faults: u64,
+    /// Faults satisfied by zero-fill.
+    pub zero_fills: u64,
+    /// Faults requiring a swap-in read.
+    pub swap_ins: u64,
+    /// Faults requiring a text page-in read.
+    pub page_ins: u64,
+    /// Dirty pages evicted to swap.
+    pub swap_outs: u64,
+    /// Clean text pages dropped.
+    pub text_drops: u64,
+}
+
+/// The node-wide VM state.
+#[derive(Debug)]
+pub struct Vm {
+    frames_total: u32,
+    frames_used: u32,
+    resident: HashMap<(Pid, Vpn), Resident>,
+    clock: VecDeque<(Pid, Vpn)>,
+    swap_of: HashMap<(Pid, Vpn), u32>,
+    swap_next: u32,
+    swap_slots: u32,
+    swap_free: Vec<u32>,
+    swap_region_end_sector: u32,
+    segments: HashMap<Pid, Vec<Segment>>,
+    next_base: HashMap<Pid, Vpn>,
+    /// Statistics.
+    pub stats: VmStats,
+}
+
+impl Vm {
+    /// Build a VM over `frames_total` user-available frames and the swap
+    /// region of `layout`.
+    pub fn new(frames_total: u32, layout: &DiskLayout) -> Self {
+        assert!(frames_total > 0);
+        let (s, e) = layout.swap;
+        let swap_slots = (e - s) / SECTORS_PER_PAGE;
+        Self {
+            frames_total,
+            frames_used: 0,
+            resident: HashMap::new(),
+            clock: VecDeque::new(),
+            swap_of: HashMap::new(),
+            swap_next: 0,
+            swap_slots,
+            swap_free: Vec::new(),
+            swap_region_end_sector: e,
+            segments: HashMap::new(),
+            next_base: HashMap::new(),
+            stats: VmStats::default(),
+        }
+    }
+
+    /// Frames available in total.
+    pub fn frames_total(&self) -> u32 {
+        self.frames_total
+    }
+
+    /// Frames currently holding pages.
+    pub fn frames_used(&self) -> u32 {
+        self.frames_used
+    }
+
+    /// First sector of a swap slot. Slots grow *downward* from the region
+    /// top: slot 0 sits just under the region end.
+    pub fn slot_sector(&self, slot: u32) -> u32 {
+        self.swap_region_end_sector - (slot + 1) * SECTORS_PER_PAGE
+    }
+
+    /// Map `pages` anonymous pages for `pid`; returns the base VPN.
+    pub fn map_anon(&mut self, pid: Pid, pages: u32) -> Vpn {
+        self.map(pid, pages, None)
+    }
+
+    /// Map a text image of `pages` pages backed by `ino`.
+    pub fn map_text(&mut self, pid: Pid, ino: Ino, pages: u32) -> Vpn {
+        self.map(pid, pages, Some(ino))
+    }
+
+    fn map(&mut self, pid: Pid, pages: u32, text_ino: Option<Ino>) -> Vpn {
+        assert!(pages > 0, "zero-page mapping");
+        let base = *self.next_base.entry(pid).or_insert(0x10);
+        self.next_base.insert(pid, base + pages as Vpn + 8); // guard gap
+        self.segments
+            .entry(pid)
+            .or_default()
+            .push(Segment { base, pages, text_ino });
+        base
+    }
+
+    fn segment_of(&self, pid: Pid, vpn: Vpn) -> Option<&Segment> {
+        self.segments
+            .get(&pid)?
+            .iter()
+            .find(|s| vpn >= s.base && vpn < s.base + s.pages as Vpn)
+    }
+
+    /// Touch one page of `pid`'s address space.
+    pub fn touch(&mut self, pid: Pid, vpn: Vpn) -> TouchResult {
+        if let Some(r) = self.resident.get_mut(&(pid, vpn)) {
+            r.referenced = true;
+            self.stats.hits += 1;
+            return TouchResult::Hit;
+        }
+        let Some(seg) = self.segment_of(pid, vpn) else {
+            return TouchResult::BadAddress;
+        };
+        let (kind, io) = match seg.text_ino {
+            Some(ino) => {
+                let page = (vpn - seg.base) as u32;
+                (PageKind::Text, FaultIo::PageIn { ino, page })
+            }
+            None => match self.swap_of.get(&(pid, vpn)) {
+                Some(&slot) => (PageKind::Anon, FaultIo::SwapIn { slot }),
+                None => (PageKind::Anon, FaultIo::None),
+            },
+        };
+        // Claim a frame, evicting if needed.
+        let mut swap_outs = Vec::new();
+        if self.frames_used >= self.frames_total {
+            match self.evict_one() {
+                Some(Some(slot)) => swap_outs.push(slot),
+                Some(None) => {}
+                None => return TouchResult::OutOfMemory,
+            }
+        } else {
+            self.frames_used += 1;
+        }
+        self.stats.faults += 1;
+        match io {
+            FaultIo::None => self.stats.zero_fills += 1,
+            FaultIo::SwapIn { .. } => self.stats.swap_ins += 1,
+            FaultIo::PageIn { .. } => self.stats.page_ins += 1,
+        }
+        self.resident.insert((pid, vpn), Resident { kind, referenced: true });
+        self.clock.push_back((pid, vpn));
+        TouchResult::Fault { io, swap_outs }
+    }
+
+    /// Clock eviction. `Some(Some(slot))` → evicted dirty anon page, write
+    /// `slot`; `Some(None)` → dropped a clean text page; `None` → could not
+    /// evict (swap full).
+    fn evict_one(&mut self) -> Option<Option<u32>> {
+        // Bounded sweep: after 2 full passes everything had its reference
+        // bit cleared, so a victim must be found unless swap is exhausted.
+        for _ in 0..self.clock.len() * 2 + 1 {
+            let (pid, vpn) = self.clock.pop_front()?;
+            let Some(r) = self.resident.get_mut(&(pid, vpn)) else {
+                continue; // stale entry for a released process
+            };
+            if r.referenced {
+                r.referenced = false;
+                self.clock.push_back((pid, vpn));
+                continue;
+            }
+            let kind = r.kind;
+            self.resident.remove(&(pid, vpn));
+            return match kind {
+                PageKind::Text => {
+                    self.stats.text_drops += 1;
+                    Some(None)
+                }
+                PageKind::Anon => {
+                    let slot = match self.swap_of.get(&(pid, vpn)) {
+                        Some(&s) => s, // rewrite the existing slot
+                        None => match self.alloc_slot() {
+                            Some(s) => {
+                                self.swap_of.insert((pid, vpn), s);
+                                s
+                            }
+                            None => {
+                                // Swap full: put the page back; caller sees OOM.
+                                self.resident.insert((pid, vpn), Resident { kind, referenced: false });
+                                self.clock.push_back((pid, vpn));
+                                return None;
+                            }
+                        },
+                    };
+                    self.stats.swap_outs += 1;
+                    Some(Some(slot))
+                }
+            };
+        }
+        None
+    }
+
+    fn alloc_slot(&mut self) -> Option<u32> {
+        if let Some(s) = self.swap_free.pop() {
+            return Some(s);
+        }
+        if self.swap_next < self.swap_slots {
+            let s = self.swap_next;
+            self.swap_next += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Release every resource of an exiting process.
+    pub fn release(&mut self, pid: Pid) {
+        self.segments.remove(&pid);
+        self.next_base.remove(&pid);
+        let resident_keys: Vec<(Pid, Vpn)> = self
+            .resident
+            .keys()
+            .filter(|(p, _)| *p == pid)
+            .copied()
+            .collect();
+        for k in resident_keys {
+            self.resident.remove(&k);
+            self.frames_used -= 1;
+        }
+        self.clock.retain(|(p, _)| *p != pid);
+        let slots: Vec<u32> = self
+            .swap_of
+            .iter()
+            .filter(|((p, _), _)| *p == pid)
+            .map(|(_, s)| *s)
+            .collect();
+        self.swap_of.retain(|(p, _), _| *p != pid);
+        self.swap_free.extend(slots);
+    }
+
+    /// Number of resident pages for a process (diagnostics).
+    pub fn resident_pages(&self, pid: Pid) -> usize {
+        self.resident.keys().filter(|(p, _)| *p == pid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(frames: u32) -> Vm {
+        Vm::new(frames, &DiskLayout::beowulf_500mb())
+    }
+
+    #[test]
+    fn first_touch_zero_fills_then_hits() {
+        let mut v = vm(10);
+        let base = v.map_anon(1, 4);
+        match v.touch(1, base) {
+            TouchResult::Fault { io: FaultIo::None, swap_outs } => assert!(swap_outs.is_empty()),
+            other => panic!("expected zero-fill fault, got {other:?}"),
+        }
+        assert_eq!(v.touch(1, base), TouchResult::Hit);
+        assert_eq!(v.stats.zero_fills, 1);
+        assert_eq!(v.stats.hits, 1);
+    }
+
+    #[test]
+    fn text_faults_page_in_from_file() {
+        let mut v = vm(10);
+        let base = v.map_text(1, 42, 8);
+        match v.touch(1, base + 3) {
+            TouchResult::Fault { io: FaultIo::PageIn { ino, page }, .. } => {
+                assert_eq!(ino, 42);
+                assert_eq!(page, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmapped_touch_is_bad_address() {
+        let mut v = vm(10);
+        v.map_anon(1, 2);
+        assert_eq!(v.touch(1, 9999), TouchResult::BadAddress);
+        assert_eq!(v.touch(2, 0x10), TouchResult::BadAddress, "other pid has no mapping");
+    }
+
+    #[test]
+    fn pressure_evicts_anon_to_swap_and_faults_back() {
+        let mut v = vm(2);
+        let base = v.map_anon(1, 3);
+        v.touch(1, base);
+        v.touch(1, base + 1);
+        // Third page forces an eviction. All pages referenced → clock clears
+        // bits on the first pass, evicts `base` on the second.
+        let r = v.touch(1, base + 2);
+        let TouchResult::Fault { io: FaultIo::None, swap_outs } = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(swap_outs.len(), 1);
+        let slot = swap_outs[0];
+        assert_eq!(v.stats.swap_outs, 1);
+        // Touching the evicted page swaps it back in from the same slot.
+        let evicted_vpn = base; // FIFO clock after bit clearing
+        let r = v.touch(1, evicted_vpn);
+        match r {
+            TouchResult::Fault { io: FaultIo::SwapIn { slot: s }, .. } => assert_eq!(s, slot),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(v.stats.swap_ins, 1);
+    }
+
+    #[test]
+    fn swap_slots_sit_just_under_region_top() {
+        let v = vm(4);
+        // Slot 0 occupies the 8 sectors right below 400,000.
+        assert_eq!(v.slot_sector(0), 400_000 - 8);
+        assert_eq!(v.slot_sector(1), 400_000 - 16);
+        assert!(v.slot_sector(0) < 400_000);
+    }
+
+    #[test]
+    fn text_eviction_is_a_clean_drop() {
+        let mut v = vm(2);
+        let t = v.map_text(1, 7, 4);
+        v.touch(1, t);
+        v.touch(1, t + 1);
+        let r = v.touch(1, t + 2);
+        let TouchResult::Fault { swap_outs, .. } = r else { panic!() };
+        assert!(swap_outs.is_empty(), "text eviction writes nothing");
+        assert_eq!(v.stats.text_drops, 1);
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut v = vm(2);
+        let base = v.map_anon(1, 3);
+        v.touch(1, base);
+        v.touch(1, base + 1);
+        // Re-reference page base+1 so its bit is set at eviction time; after
+        // bit-clearing sweep the victim is still the older page `base`.
+        v.touch(1, base + 1);
+        v.touch(1, base + 2); // evicts base (not base+1)
+        assert_eq!(v.touch(1, base + 1), TouchResult::Hit, "recently used page survived");
+    }
+
+    #[test]
+    fn release_frees_frames_and_swap() {
+        let mut v = vm(2);
+        let base = v.map_anon(1, 3);
+        v.touch(1, base);
+        v.touch(1, base + 1);
+        v.touch(1, base + 2); // one page now in swap
+        assert_eq!(v.frames_used(), 2);
+        v.release(1);
+        assert_eq!(v.frames_used(), 0);
+        assert_eq!(v.resident_pages(1), 0);
+        // A new process can use everything.
+        let b2 = v.map_anon(2, 2);
+        assert!(matches!(v.touch(2, b2), TouchResult::Fault { .. }));
+    }
+
+    #[test]
+    fn out_of_memory_when_swap_exhausts() {
+        // 1 frame and a tiny swap: 2 slots.
+        let mut layout = DiskLayout::beowulf_500mb();
+        layout.swap = (300_000, 300_016); // 2 pages
+        let mut v = Vm::new(1, &layout);
+        let base = v.map_anon(1, 8);
+        v.touch(1, base);
+        v.touch(1, base + 1); // evict 0 → slot
+        v.touch(1, base + 2); // evict 1 → slot
+        let r = v.touch(1, base + 3); // evict 2 → no slot left
+        assert_eq!(r, TouchResult::OutOfMemory);
+    }
+
+    #[test]
+    fn rewriting_same_page_reuses_swap_slot() {
+        let mut v = vm(1);
+        let base = v.map_anon(1, 2);
+        v.touch(1, base);
+        let TouchResult::Fault { swap_outs, .. } = v.touch(1, base + 1) else { panic!() };
+        let slot = swap_outs[0];
+        // Fault base back in: evicts base+1, which gets the *next* slot.
+        let TouchResult::Fault { io, swap_outs } = v.touch(1, base) else { panic!() };
+        assert_eq!(io, FaultIo::SwapIn { slot });
+        assert_eq!(swap_outs, vec![slot + 1]);
+        // Fault base+1 back: evicting base must *reuse* its original slot.
+        let TouchResult::Fault { io, swap_outs } = v.touch(1, base + 1) else { panic!() };
+        assert_eq!(io, FaultIo::SwapIn { slot: slot + 1 });
+        assert_eq!(swap_outs, vec![slot], "slot reused, not leaked");
+        assert_eq!(v.stats.swap_outs, 3);
+    }
+}

@@ -1,0 +1,24 @@
+//! # essio-net — the Beowulf interconnect
+//!
+//! The prototype was "connected with two parallel Ethernet networks"
+//! (paper §3.2): channel-bonded 10 Mb/s segments driven by PVM. The three
+//! workloads are parallel codes, so communication stalls shape *when* each
+//! process computes, pages, and writes — i.e. the time axis of every figure.
+//!
+//! Two layers:
+//!
+//! * [`ether`] — the bonded channel pair: serialization at 10 Mb/s each,
+//!   fixed protocol latency (PVM over UDP on a 486 measured in the
+//!   milliseconds), FIFO queueing per channel, round-robin bonding.
+//! * [`pvm`] — a PVM-like message layer: task mailboxes, blocking receive
+//!   with source/tag matching, and group barriers, exposed in the same
+//!   event-loop style as the kernel (calls return delivery deadlines for
+//!   the world loop to schedule).
+
+#![warn(missing_docs)]
+
+pub mod ether;
+pub mod pvm;
+
+pub use ether::{Ethernet, NetConfig};
+pub use pvm::{BarrierOutcome, Message, NetOp, NetResult, Pvm, TaskId};

@@ -1,0 +1,290 @@
+//! PVM-like message passing: mailboxes, blocking receive, barriers.
+//!
+//! The Beowulf ran PVM for inter-processor communication (paper §3.2). The
+//! subset the three workloads need: typed point-to-point messages with
+//! source/tag matching on receive, and group barriers (PPM's per-step halo
+//! synchronization, the N-body tree exchange, the wavelet scatter/gather).
+//!
+//! Event-loop contract: `send` returns the delivery time (the world loop
+//! schedules a `Deliver` event); `deliver` either hands the message to a
+//! task blocked in `recv` (wake it) or enqueues it; `recv` returns the
+//! message immediately when one is queued, or parks the task.
+
+use std::collections::{HashMap, VecDeque};
+
+use essio_sim::SimTime;
+
+use crate::ether::Ethernet;
+
+/// PVM task identifier (one per process in the virtual machine).
+pub type TaskId = u32;
+
+/// A message in flight or queued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sender task.
+    pub from: TaskId,
+    /// Destination task.
+    pub to: TaskId,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+/// Network requests a process can issue.
+#[derive(Debug, Clone)]
+pub enum NetOp {
+    /// Asynchronous send (PVM `pvm_send`).
+    Send {
+        /// Destination task.
+        to: TaskId,
+        /// Message tag.
+        tag: i32,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Blocking receive (PVM `pvm_recv`), with optional source/tag filters.
+    Recv {
+        /// Match only this sender (None = any).
+        from: Option<TaskId>,
+        /// Match only this tag (None = any).
+        tag: Option<i32>,
+    },
+    /// Group barrier (PVM `pvm_barrier`): blocks until `n` tasks arrive.
+    Barrier {
+        /// Barrier group id.
+        group: u32,
+        /// Number of tasks in the group.
+        n: u32,
+    },
+}
+
+/// Network responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetResult {
+    /// Send accepted (asynchronous).
+    Sent,
+    /// A received message.
+    Message(Message),
+    /// The barrier released.
+    BarrierDone,
+}
+
+/// Outcome of a barrier arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BarrierOutcome {
+    /// Caller must block.
+    Wait,
+    /// Barrier complete: every *other* listed task must be woken with
+    /// [`NetResult::BarrierDone`]; the caller continues directly.
+    Release(Vec<TaskId>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RecvWait {
+    from: Option<TaskId>,
+    tag: Option<i32>,
+}
+
+/// The PVM layer over the bonded Ethernet.
+#[derive(Debug)]
+pub struct Pvm {
+    ether: Ethernet,
+    mailboxes: HashMap<TaskId, VecDeque<Message>>,
+    recv_waits: HashMap<TaskId, RecvWait>,
+    barriers: HashMap<u32, Vec<TaskId>>,
+    /// Messages delivered end-to-end.
+    pub delivered: u64,
+}
+
+impl Pvm {
+    /// Build the layer over `ether`.
+    pub fn new(ether: Ethernet) -> Self {
+        Self {
+            ether,
+            mailboxes: HashMap::new(),
+            recv_waits: HashMap::new(),
+            barriers: HashMap::new(),
+            delivered: 0,
+        }
+    }
+
+    /// The underlying medium (stats).
+    pub fn ether(&self) -> &Ethernet {
+        &self.ether
+    }
+
+    /// Start transmitting `msg`; returns its delivery time. The world loop
+    /// must call [`Pvm::deliver`] with the message at that time.
+    pub fn send(&mut self, now: SimTime, msg: &Message) -> SimTime {
+        self.ether.transmit(now, msg.data.len() as u32)
+    }
+
+    /// Message arrival. Returns the task to wake (with the message) if the
+    /// receiver was blocked on a matching receive.
+    pub fn deliver(&mut self, msg: Message) -> Option<(TaskId, Message)> {
+        self.delivered += 1;
+        let to = msg.to;
+        if let Some(wait) = self.recv_waits.get(&to) {
+            if Self::matches(wait, &msg) {
+                self.recv_waits.remove(&to);
+                return Some((to, msg));
+            }
+        }
+        self.mailboxes.entry(to).or_default().push_back(msg);
+        None
+    }
+
+    fn matches(wait: &RecvWait, msg: &Message) -> bool {
+        wait.from.map_or(true, |f| f == msg.from) && wait.tag.map_or(true, |t| t == msg.tag)
+    }
+
+    /// Blocking receive: returns a queued matching message, or parks `task`.
+    pub fn recv(&mut self, task: TaskId, from: Option<TaskId>, tag: Option<i32>) -> Option<Message> {
+        let wait = RecvWait { from, tag };
+        if let Some(q) = self.mailboxes.get_mut(&task) {
+            if let Some(pos) = q.iter().position(|m| Self::matches(&wait, m)) {
+                return q.remove(pos);
+            }
+        }
+        let prev = self.recv_waits.insert(task, wait);
+        assert!(prev.is_none(), "task {task} issued two concurrent receives");
+        None
+    }
+
+    /// Barrier arrival.
+    pub fn barrier(&mut self, task: TaskId, group: u32, n: u32) -> BarrierOutcome {
+        assert!(n > 0);
+        let arrived = self.barriers.entry(group).or_default();
+        assert!(!arrived.contains(&task), "task {task} arrived twice at barrier {group}");
+        arrived.push(task);
+        if arrived.len() as u32 >= n {
+            let mut tasks = self.barriers.remove(&group).expect("just inserted");
+            tasks.retain(|t| *t != task);
+            BarrierOutcome::Release(tasks)
+        } else {
+            BarrierOutcome::Wait
+        }
+    }
+
+    /// Remove a dead task's waits and mailbox.
+    pub fn forget(&mut self, task: TaskId) {
+        self.recv_waits.remove(&task);
+        self.mailboxes.remove(&task);
+        for arrived in self.barriers.values_mut() {
+            arrived.retain(|t| *t != task);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ether::NetConfig;
+
+    fn pvm() -> Pvm {
+        Pvm::new(Ethernet::new(NetConfig::default()))
+    }
+
+    fn msg(from: TaskId, to: TaskId, tag: i32) -> Message {
+        Message { from, to, tag, data: vec![1, 2, 3] }
+    }
+
+    #[test]
+    fn send_returns_future_delivery_time() {
+        let mut p = pvm();
+        let t = p.send(1_000, &msg(1, 2, 7));
+        assert!(t > 1_000);
+    }
+
+    #[test]
+    fn deliver_to_idle_task_queues() {
+        let mut p = pvm();
+        assert_eq!(p.deliver(msg(1, 2, 7)), None);
+        let got = p.recv(2, None, None).expect("queued message");
+        assert_eq!(got.tag, 7);
+    }
+
+    #[test]
+    fn deliver_to_waiting_task_wakes_it() {
+        let mut p = pvm();
+        assert!(p.recv(2, Some(1), Some(7)).is_none(), "nothing queued yet");
+        let woke = p.deliver(msg(1, 2, 7)).expect("matching wait");
+        assert_eq!(woke.0, 2);
+        assert_eq!(woke.1.from, 1);
+    }
+
+    #[test]
+    fn recv_filters_by_source_and_tag() {
+        let mut p = pvm();
+        p.deliver(msg(1, 2, 7));
+        p.deliver(msg(3, 2, 9));
+        let got = p.recv(2, Some(3), None).expect("from-3 message");
+        assert_eq!(got.from, 3);
+        let got = p.recv(2, None, Some(7)).expect("tag-7 message");
+        assert_eq!(got.tag, 7);
+    }
+
+    #[test]
+    fn non_matching_delivery_does_not_wake() {
+        let mut p = pvm();
+        assert!(p.recv(2, Some(1), None).is_none());
+        assert_eq!(p.deliver(msg(5, 2, 0)), None, "wrong source stays queued");
+        // The right message still wakes.
+        let woke = p.deliver(msg(1, 2, 0)).expect("matches now");
+        assert_eq!(woke.1.from, 1);
+        // And the queued one is available afterwards.
+        assert!(p.recv(2, Some(5), None).is_some());
+    }
+
+    #[test]
+    fn messages_arrive_in_fifo_order_per_filter() {
+        let mut p = pvm();
+        for i in 0..3 {
+            let mut m = msg(1, 2, 7);
+            m.data = vec![i];
+            p.deliver(m);
+        }
+        for i in 0..3 {
+            assert_eq!(p.recv(2, None, None).unwrap().data, vec![i]);
+        }
+    }
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut p = pvm();
+        assert_eq!(p.barrier(1, 9, 3), BarrierOutcome::Wait);
+        assert_eq!(p.barrier(2, 9, 3), BarrierOutcome::Wait);
+        match p.barrier(3, 9, 3) {
+            BarrierOutcome::Release(mut tasks) => {
+                tasks.sort_unstable();
+                assert_eq!(tasks, vec![1, 2], "waiters to wake exclude the releaser");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Group id is reusable afterwards.
+        assert_eq!(p.barrier(1, 9, 2), BarrierOutcome::Wait);
+    }
+
+    #[test]
+    #[should_panic(expected = "two concurrent receives")]
+    fn double_recv_is_a_bug() {
+        let mut p = pvm();
+        p.recv(2, None, None);
+        p.recv(2, None, None);
+    }
+
+    #[test]
+    fn forget_cleans_up_everything() {
+        let mut p = pvm();
+        p.recv(2, None, None);
+        p.barrier(2, 1, 3);
+        p.deliver(msg(1, 9, 0));
+        p.forget(2);
+        // 2's barrier arrival is erased: two more arrivals release.
+        assert_eq!(p.barrier(3, 1, 3), BarrierOutcome::Wait);
+        assert_eq!(p.barrier(4, 1, 3), BarrierOutcome::Wait);
+        assert!(matches!(p.barrier(5, 1, 3), BarrierOutcome::Release(_)));
+    }
+}

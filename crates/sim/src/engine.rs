@@ -1,0 +1,301 @@
+//! The event queue at the heart of the discrete-event simulation.
+//!
+//! [`Engine`] is deliberately minimal: it orders `(time, payload)` pairs and
+//! advances a clock. Everything domain-specific (what an event *means*) lives
+//! in the crates layered above. Two properties matter here:
+//!
+//! 1. **Determinism.** Events scheduled for the same instant are delivered in
+//!    the order they were scheduled (FIFO tie-break via a monotone sequence
+//!    number), so simulation outcomes never depend on heap internals.
+//! 2. **Cancellation.** Timers that may be superseded (e.g. a write-back
+//!    flush rescheduled because the cache was synced explicitly) are removed
+//!    lazily: [`Engine::cancel`] marks the [`EventId`] dead and [`Engine::pop`]
+//!    skips corpses.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A time-ordered event queue with a virtual clock.
+///
+/// `E` is the event payload; the engine never inspects it.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Entry<E>>>,
+    /// Sequence numbers currently live in the queue (authoritative for
+    /// cancellation: a fired or already-cancelled event is not here).
+    live: HashSet<u64>,
+    cancelled: HashSet<u64>,
+    delivered: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap via `Reverse`; order by time, FIFO within an instant.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Create an empty engine with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::with_capacity(1024),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time. Monotone: only advanced by [`Engine::pop`].
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far (diagnostics).
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of live (scheduled, not cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// `at` may not precede the current clock; scheduling in the past is a
+    /// logic error in the caller and panics in debug builds. In release
+    /// builds the event is clamped to `now` so a long simulation degrades
+    /// rather than wedges.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Entry { time: at, seq, payload }));
+        self.live.insert(seq);
+        EventId(seq)
+    }
+
+    /// Schedule `payload` at `now + delay`.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) -> EventId {
+        self.schedule_at(self.now.saturating_add(delay), payload)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will be silently dropped), `false` if it had already
+    /// fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.live.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        true
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.queue.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live.remove(&entry.seq);
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            self.delivered += 1;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.queue.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.queue.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// True when no live events remain.
+    pub fn is_idle(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(30, 3);
+        e.schedule_at(10, 1);
+        e.schedule_at(20, 2);
+        assert_eq!(e.pop(), Some((10, 1)));
+        assert_eq!(e.pop(), Some((20, 2)));
+        assert_eq!(e.pop(), Some((30, 3)));
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.now(), 30);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..100 {
+            e.schedule_at(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(e.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(100, "a");
+        e.pop();
+        e.schedule_in(10, "b");
+        assert_eq!(e.pop(), Some((110, "b")));
+    }
+
+    #[test]
+    fn cancel_removes_pending_event() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(10, 1);
+        e.schedule_at(20, 2);
+        assert!(e.cancel(a));
+        assert_eq!(e.pop(), Some((20, 2)));
+    }
+
+    #[test]
+    fn cancel_twice_or_after_fire_is_false() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(10, 1);
+        assert!(e.cancel(a));
+        assert!(!e.cancel(a));
+        let b = e.schedule_at(11, 2);
+        assert_eq!(e.pop(), Some((11, 2)));
+        // `b` already fired: cancellation reports false and does not poison
+        // the pending count or future events.
+        assert!(!e.cancel(b));
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.pop(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut e: Engine<u32> = Engine::new();
+        assert!(!e.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(10, 1);
+        e.schedule_at(20, 2);
+        e.cancel(a);
+        assert_eq!(e.peek_time(), Some(20));
+        assert_eq!(e.pop(), Some((20, 2)));
+    }
+
+    #[test]
+    fn pending_count_excludes_cancelled() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(10, 1);
+        e.schedule_at(20, 2);
+        assert_eq!(e.pending(), 2);
+        e.cancel(a);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(100, 1);
+        e.pop();
+        e.schedule_at(50, 2);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_in_release() {
+        // In release builds the past event is clamped to `now` instead of
+        // panicking, so long simulations degrade rather than wedge.
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(100, 1);
+        e.pop();
+        if cfg!(not(debug_assertions)) {
+            e.schedule_at(50, 2);
+            assert_eq!(e.pop(), Some((100, 2)), "clamped to now");
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone_under_interleaved_scheduling() {
+        let mut e: Engine<u64> = Engine::new();
+        e.schedule_at(1, 0);
+        let mut last = 0;
+        let mut n = 0u64;
+        while let Some((t, v)) = e.pop() {
+            assert!(t >= last);
+            last = t;
+            n += 1;
+            if n < 1000 {
+                // Re-schedule two children with pseudo-random offsets.
+                e.schedule_in(v % 7 + 1, v.wrapping_mul(2).wrapping_add(1));
+                if n % 3 == 0 {
+                    e.schedule_in(v % 3, v.wrapping_mul(2).wrapping_add(2));
+                }
+                // Keep the queue bounded.
+                if e.pending() > 4 {
+                    e.pop();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Lock-step process hosting.
+//!
+//! The NASA workloads are real programs (a PPM solver, a wavelet transform,
+//! a Barnes–Hut tree code). We want to write them as ordinary Rust, yet the
+//! simulation must control when they run and what every syscall costs. The
+//! classic way to square that is co-routine style execution:
+//!
+//! * Application code runs on its own OS thread, but is *only* runnable while
+//!   the engine has explicitly resumed it. Both directions use zero-capacity
+//!   rendezvous channels, so at any instant exactly one logical thread of
+//!   control exists — the simulation is deterministic despite real threads.
+//! * The process communicates in three verbs: **compute** (burn virtual CPU
+//!   time), **request** (a syscall routed to the simulated kernel), and
+//!   **exit**. Memory references are batched as page *touches* piggybacked on
+//!   the next verb, which keeps rendezvous frequency low (thousands of page
+//!   touches cost one channel round-trip) while still letting the VM
+//!   subsystem fault pages on the exact access order the algorithm produced.
+//!
+//! The request/response types are generic: this crate knows nothing about
+//! disks or files. `essio-kernel` instantiates `Req = Syscall`,
+//! `Resp = SysResult`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use crate::time::SimTime;
+
+/// A virtual page number in a process address space.
+pub type Vpn = u64;
+
+/// What a process reports back to the engine when it yields.
+#[derive(Debug)]
+pub enum ProcMsg<Req> {
+    /// Burn `micros` of CPU time, after applying `touches` to the VM.
+    Compute {
+        /// Virtual CPU time consumed since the last yield, in microseconds.
+        micros: u64,
+        /// Page touches accumulated since the last yield, in access order.
+        touches: Vec<Vpn>,
+    },
+    /// A syscall. The process is blocked until the engine resumes it with a
+    /// response.
+    Request {
+        /// The syscall payload (kernel-defined).
+        call: Req,
+        /// Page touches accumulated before the syscall.
+        touches: Vec<Vpn>,
+    },
+    /// The process body returned (or panicked — code 101 by convention).
+    Exit {
+        /// Process exit code.
+        code: i32,
+        /// Final batch of page touches.
+        touches: Vec<Vpn>,
+    },
+}
+
+struct Resume<Resp> {
+    now: SimTime,
+    resp: Option<Resp>,
+}
+
+/// Tuning knobs for how often a process rendezvouses with the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcConfig {
+    /// Accumulated compute time that forces a yield (µs of virtual CPU).
+    /// Smaller values interleave processes more finely at higher simulation
+    /// cost. 10 ms resolves every feature on the paper's 1-second plot axes.
+    pub compute_flush_us: u64,
+    /// Accumulated page touches that force a yield.
+    pub touch_flush: usize,
+}
+
+impl Default for ProcConfig {
+    fn default() -> Self {
+        Self { compute_flush_us: 10_000, touch_flush: 4096 }
+    }
+}
+
+/// The process side of the rendezvous: passed to the workload body.
+pub struct ProcCtx<Req, Resp> {
+    to_engine: Sender<ProcMsg<Req>>,
+    from_engine: Receiver<Resume<Resp>>,
+    now: SimTime,
+    pending_compute: u64,
+    touches: Vec<Vpn>,
+    cfg: ProcConfig,
+}
+
+/// Raised (as a panic payload) when the engine side disappears while the
+/// process is blocked; the host thread wrapper swallows it.
+struct SimulationTornDown;
+
+impl<Req, Resp> ProcCtx<Req, Resp> {
+    /// Current virtual time as of the last rendezvous, plus locally
+    /// accumulated compute. Approximate between yields by construction.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now + self.pending_compute
+    }
+
+    /// Consume `micros` of virtual CPU time. Cheap: accumulates locally and
+    /// only rendezvouses when the configured flush threshold is crossed.
+    #[inline]
+    pub fn compute(&mut self, micros: u64) {
+        self.pending_compute += micros;
+        if self.pending_compute >= self.cfg.compute_flush_us {
+            self.flush_compute();
+        }
+    }
+
+    /// Record a reference to virtual page `vpn`. Consecutive duplicate
+    /// touches are collapsed (a loop walking one page does not flood the VM).
+    #[inline]
+    pub fn touch(&mut self, vpn: Vpn) {
+        if self.touches.last() != Some(&vpn) {
+            self.touches.push(vpn);
+            if self.touches.len() >= self.cfg.touch_flush {
+                self.flush_compute();
+            }
+        }
+    }
+
+    /// Touch every page overlapping `[base_vpn, base_vpn + npages)`.
+    pub fn touch_range(&mut self, base_vpn: Vpn, npages: u64) {
+        for p in base_vpn..base_vpn + npages {
+            self.touch(p);
+        }
+    }
+
+    /// Issue a syscall and block until the simulated kernel answers.
+    /// Any accumulated compute/touches are flushed as part of the request,
+    /// so the kernel observes them *before* the call, in program order.
+    pub fn request(&mut self, call: Req) -> Resp {
+        let micros = std::mem::take(&mut self.pending_compute);
+        if micros > 0 {
+            // Bill outstanding compute before the syscall so its timestamp
+            // lands after the work that produced it.
+            let touches = std::mem::take(&mut self.touches);
+            self.yield_msg(ProcMsg::Compute { micros, touches });
+        }
+        let touches = std::mem::take(&mut self.touches);
+        let resume = self.yield_msg(ProcMsg::Request { call, touches });
+        resume.expect("kernel must answer a Request with a response")
+    }
+
+    fn flush_compute(&mut self) {
+        let micros = std::mem::take(&mut self.pending_compute);
+        let touches = std::mem::take(&mut self.touches);
+        if micros == 0 && touches.is_empty() {
+            return;
+        }
+        self.yield_msg(ProcMsg::Compute { micros, touches });
+    }
+
+    fn yield_msg(&mut self, msg: ProcMsg<Req>) -> Option<Resp> {
+        if self.to_engine.send(msg).is_err() {
+            std::panic::panic_any(SimulationTornDown);
+        }
+        match self.from_engine.recv() {
+            Ok(Resume { now, resp }) => {
+                self.now = now;
+                resp
+            }
+            Err(_) => std::panic::panic_any(SimulationTornDown),
+        }
+    }
+}
+
+/// Engine-side handle to a hosted process thread.
+pub struct ProcessHost<Req, Resp> {
+    name: String,
+    to_proc: Option<Sender<Resume<Resp>>>,
+    from_proc: Receiver<ProcMsg<Req>>,
+    handle: Option<JoinHandle<()>>,
+    finished: bool,
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> ProcessHost<Req, Resp> {
+    /// Spawn `body` as a hosted process. The thread starts parked, waiting
+    /// for the first [`ProcessHost::start`].
+    pub fn spawn<F>(name: impl Into<String>, cfg: ProcConfig, body: F) -> Self
+    where
+        F: FnOnce(&mut ProcCtx<Req, Resp>) -> i32 + Send + 'static,
+    {
+        let name = name.into();
+        let (to_proc, from_engine) = bounded::<Resume<Resp>>(0);
+        let (to_engine, from_proc) = bounded::<ProcMsg<Req>>(0);
+        let thread_name = format!("sim-proc-{name}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                // Park until the engine starts us.
+                let first = match from_engine.recv() {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                let mut ctx = ProcCtx {
+                    to_engine,
+                    from_engine,
+                    now: first.now,
+                    pending_compute: 0,
+                    touches: Vec::with_capacity(cfg.touch_flush),
+                    cfg,
+                };
+                let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                let (code, touches) = match result {
+                    Ok(code) => (code, std::mem::take(&mut ctx.touches)),
+                    Err(payload) => {
+                        if payload.downcast_ref::<SimulationTornDown>().is_some() {
+                            return; // engine went away; exit silently
+                        }
+                        // Re-raise nothing: report a crashed process instead,
+                        // mirroring a real program dying with SIGABRT.
+                        (101, Vec::new())
+                    }
+                };
+                // Flush any trailing compute so totals balance, then exit.
+                let micros = std::mem::take(&mut ctx.pending_compute);
+                if micros > 0 && ctx.to_engine.send(ProcMsg::Compute { micros, touches: Vec::new() }).is_ok() {
+                    let _ = ctx.from_engine.recv();
+                }
+                let _ = ctx.to_engine.send(ProcMsg::Exit { code, touches });
+            })
+            .expect("spawning a simulation process thread");
+        Self { name, to_proc: Some(to_proc), from_proc, handle: Some(handle), finished: false }
+    }
+
+    /// Process name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the process has delivered its `Exit` message.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Deliver the first resume: runs the body until its first yield.
+    pub fn start(&mut self, now: SimTime) -> ProcMsg<Req> {
+        self.resume_inner(now, None)
+    }
+
+    /// Resume a process blocked in [`ProcCtx::request`] with the syscall's
+    /// response, or a process that yielded `Compute` (response ignored —
+    /// pass via [`ProcessHost::resume_compute`]).
+    pub fn resume(&mut self, now: SimTime, resp: Resp) -> ProcMsg<Req> {
+        self.resume_inner(now, Some(resp))
+    }
+
+    /// Resume a process that yielded a `Compute` message (no response value).
+    pub fn resume_compute(&mut self, now: SimTime) -> ProcMsg<Req> {
+        self.resume_inner(now, None)
+    }
+
+    fn resume_inner(&mut self, now: SimTime, resp: Option<Resp>) -> ProcMsg<Req> {
+        assert!(!self.finished, "resuming a finished process: {}", self.name);
+        let to_proc = self.to_proc.as_ref().expect("process channel alive");
+        to_proc
+            .send(Resume { now, resp })
+            .expect("process thread alive");
+        match self.from_proc.recv() {
+            Ok(msg) => {
+                if matches!(msg, ProcMsg::Exit { .. }) {
+                    self.finished = true;
+                }
+                msg
+            }
+            Err(_) => {
+                // Thread terminated without an Exit message (can only happen
+                // if the body thread was killed externally). Synthesize one.
+                self.finished = true;
+                ProcMsg::Exit { code: 102, touches: Vec::new() }
+            }
+        }
+    }
+}
+
+impl<Req, Resp> Drop for ProcessHost<Req, Resp> {
+    fn drop(&mut self) {
+        // Closing the resume channel makes a blocked process thread unwind
+        // with `SimulationTornDown`; then the join is prompt.
+        self.to_proc = None;
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Host = ProcessHost<u32, u32>;
+
+    #[test]
+    fn simple_lifecycle_compute_then_exit() {
+        let mut host = Host::spawn("t", ProcConfig { compute_flush_us: 100, touch_flush: 64 }, |ctx| {
+            ctx.compute(250); // crosses the 100 µs threshold twice
+            7
+        });
+        let mut msgs = Vec::new();
+        let mut msg = host.start(0);
+        loop {
+            match msg {
+                ProcMsg::Compute { micros, .. } => {
+                    msgs.push(micros);
+                    msg = host.resume_compute(0);
+                }
+                ProcMsg::Exit { code, .. } => {
+                    assert_eq!(code, 7);
+                    break;
+                }
+                ProcMsg::Request { .. } => panic!("no requests expected"),
+            }
+        }
+        // One threshold flush (250 >= 100) plus the trailing flush.
+        assert_eq!(msgs.iter().sum::<u64>(), 250);
+        assert!(host.finished());
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let mut host = Host::spawn("t", ProcConfig::default(), |ctx| {
+            let a = ctx.request(10);
+            let b = ctx.request(a);
+            (a + b) as i32
+        });
+        let msg = host.start(0);
+        let ProcMsg::Request { call, .. } = msg else { panic!("expected request, got {msg:?}") };
+        assert_eq!(call, 10);
+        let msg = host.resume(5, 100);
+        let ProcMsg::Request { call, .. } = msg else { panic!("expected request") };
+        assert_eq!(call, 100);
+        let msg = host.resume(9, 1);
+        let ProcMsg::Exit { code, .. } = msg else { panic!("expected exit") };
+        assert_eq!(code, 101); // a = 100, b = 1
+    }
+
+    #[test]
+    fn compute_is_billed_before_request() {
+        let mut host = Host::spawn(
+            "t",
+            ProcConfig { compute_flush_us: 1_000_000, touch_flush: 64 },
+            |ctx| {
+                ctx.compute(42);
+                ctx.request(1);
+                0
+            },
+        );
+        let msg = host.start(0);
+        let ProcMsg::Compute { micros, .. } = msg else { panic!("compute should flush first, got {msg:?}") };
+        assert_eq!(micros, 42);
+        let msg = host.resume_compute(42);
+        assert!(matches!(msg, ProcMsg::Request { call: 1, .. }));
+        let msg = host.resume(50, 0);
+        assert!(matches!(msg, ProcMsg::Exit { code: 0, .. }));
+    }
+
+    #[test]
+    fn touches_are_batched_and_dedup_consecutive() {
+        let mut host = Host::spawn("t", ProcConfig::default(), |ctx| {
+            ctx.touch(1);
+            ctx.touch(1); // consecutive duplicate collapses
+            ctx.touch(2);
+            ctx.touch(1); // non-consecutive repeat is kept
+            ctx.request(0);
+            0
+        });
+        let msg = host.start(0);
+        let ProcMsg::Request { touches, .. } = msg else { panic!("expected request") };
+        assert_eq!(touches, vec![1, 2, 1]);
+        host.resume(0, 0);
+    }
+
+    #[test]
+    fn touch_flush_threshold_forces_yield() {
+        let mut host = Host::spawn("t", ProcConfig { compute_flush_us: u64::MAX, touch_flush: 8 }, |ctx| {
+            for i in 0..20 {
+                ctx.touch(i);
+            }
+            0
+        });
+        let msg = host.start(0);
+        let ProcMsg::Compute { touches, .. } = msg else { panic!("expected flush, got {msg:?}") };
+        assert_eq!(touches.len(), 8);
+        let msg = host.resume_compute(0);
+        let ProcMsg::Compute { touches, .. } = msg else { panic!() };
+        assert_eq!(touches.len(), 8);
+        let msg = host.resume_compute(0);
+        let ProcMsg::Exit { touches, .. } = msg else { panic!("expected exit with tail touches, got {msg:?}") };
+        assert_eq!(touches.len(), 4);
+    }
+
+    #[test]
+    fn now_advances_with_resumes() {
+        let mut host = Host::spawn("t", ProcConfig::default(), |ctx| {
+            assert_eq!(ctx.now(), 1000);
+            ctx.request(0);
+            assert_eq!(ctx.now(), 2500);
+            0
+        });
+        let msg = host.start(1000);
+        assert!(matches!(msg, ProcMsg::Request { .. }));
+        let msg = host.resume(2500, 0);
+        assert!(matches!(msg, ProcMsg::Exit { code: 0, .. }));
+    }
+
+    #[test]
+    fn panicking_body_reports_exit_code_101() {
+        let mut host = Host::spawn("t", ProcConfig::default(), |_ctx| panic!("app crashed"));
+        let msg = host.start(0);
+        let ProcMsg::Exit { code, .. } = msg else { panic!("expected exit") };
+        assert_eq!(code, 101);
+    }
+
+    #[test]
+    fn dropping_host_mid_request_does_not_hang() {
+        let mut host = Host::spawn("t", ProcConfig::default(), |ctx| {
+            ctx.request(1);
+            0
+        });
+        let _ = host.start(0);
+        drop(host); // must join cleanly, not deadlock
+    }
+}

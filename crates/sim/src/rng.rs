@@ -1,0 +1,216 @@
+//! Deterministic random numbers for the simulation.
+//!
+//! [`SimRng`] is a PCG32 (O'Neill's `pcg32_oneseq`) seeded through SplitMix64.
+//! We carry our own 30-line generator instead of an external crate's so that
+//! trace reproducibility is a property of *this repository*, not of a
+//! dependency's stream-stability policy. Every stochastic element of the
+//! model (daemon inter-arrival jitter, synthetic image content, Plummer
+//! sphere sampling) draws from a `SimRng` forked from one experiment seed,
+//! which is what makes `Experiment` runs bit-identical across platforms.
+
+/// A small, fast, deterministic PCG32 generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let state = splitmix64(&mut s);
+        let inc = splitmix64(&mut s) | 1; // stream selector must be odd
+        let mut rng = Self { state, inc };
+        rng.next_u32(); // advance past the (correlated) initial state
+        rng
+    }
+
+    /// Derive an independent child generator. Children with distinct labels
+    /// produce decorrelated streams; forking is how per-node and
+    /// per-subsystem randomness is isolated so adding a draw in one place
+    /// does not perturb another.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let a = self.next_u64();
+        SimRng::new(a ^ label.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift with rejection for exact uniformity.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Rejection zone for exact uniformity.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let m = (x as u128) * (n as u128);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Exponentially distributed value with the given mean (inter-arrival
+    /// times of Poisson processes — daemon wakeups, log events).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Avoid ln(0).
+        let u = 1.0 - self.f64();
+        -mean * u.ln()
+    }
+
+    /// Standard normal via Box–Muller (used by synthetic imagery noise).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_children_are_decorrelated() {
+        let mut root = SimRng::new(7);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(9);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_bounded_and_covers() {
+        let mut r = SimRng::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let x = r.below(10) as usize;
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::new(11);
+        let n = 100_000;
+        let mut counts = [0u32; 8];
+        for _ in 0..n {
+            counts[r.below(8) as usize] += 1;
+        }
+        let expect = n as f64 / 8.0;
+        for c in counts {
+            assert!((c as f64 - expect).abs() < expect * 0.1, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::new(5);
+        let n = 200_000;
+        let mean = 3.5;
+        let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
+        assert!((sum / n as f64 - mean).abs() < 0.05, "sample mean {}", sum / n as f64);
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = SimRng::new(6);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn below_zero_panics() {
+        SimRng::new(1).below(0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests over the event engine: total order, FIFO tie-break,
+//! cancellation soundness, and clock monotonicity under arbitrary
+//! schedule/cancel/pop interleavings.
+
+use essio_sim::Engine;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum EngineOp {
+    ScheduleIn(u64),
+    CancelNth(usize),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<EngineOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..1000).prop_map(EngineOp::ScheduleIn),
+            (0usize..32).prop_map(EngineOp::CancelNth),
+            Just(EngineOp::Pop),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_is_a_faithful_priority_queue(ops in ops()) {
+        let mut engine: Engine<u64> = Engine::new();
+        // Reference model: (time, seq) -> payload for live events.
+        let mut model: std::collections::BTreeMap<(u64, u64), u64> = Default::default();
+        let mut ids: Vec<(essio_sim::EventId, (u64, u64))> = Vec::new();
+        let mut seq = 0u64;
+        let mut last_popped = 0u64;
+        for op in ops {
+            match op {
+                EngineOp::ScheduleIn(delay) => {
+                    let at = engine.now() + delay;
+                    let id = engine.schedule_in(delay, seq);
+                    model.insert((at, seq), seq);
+                    ids.push((id, (at, seq)));
+                    seq += 1;
+                }
+                EngineOp::CancelNth(n) => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let (id, key) = ids[n % ids.len()];
+                    let was_live = model.remove(&key).is_some();
+                    let cancelled = engine.cancel(id);
+                    if was_live {
+                        prop_assert!(cancelled, "live event refused cancellation");
+                    }
+                }
+                EngineOp::Pop => {
+                    let expected = model.iter().next().map(|((t, _), v)| (*t, *v));
+                    match engine.pop() {
+                        Some((t, v)) => {
+                            let (et, ev) = expected.expect("engine had an event the model lacked");
+                            prop_assert_eq!((t, v), (et, ev), "wrong order");
+                            prop_assert!(t >= last_popped, "clock went backward");
+                            last_popped = t;
+                            let key = model.iter().next().map(|(k, _)| *k).unwrap();
+                            model.remove(&key);
+                        }
+                        None => prop_assert!(model.is_empty(), "engine empty while model has events"),
+                    }
+                }
+            }
+            prop_assert_eq!(engine.pending(), model.len());
+        }
+        // Drain: remaining events come out in model order.
+        while let Some((t, v)) = engine.pop() {
+            let key = *model.iter().next().map(|(k, _)| k).expect("model tracks engine");
+            prop_assert_eq!((key.0, model[&key]), (t, v));
+            model.remove(&key);
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn rng_below_is_always_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = essio_sim::SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_fork_streams_do_not_collide(seed in any::<u64>()) {
+        let mut root = essio_sim::SimRng::new(seed);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let matches = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(matches <= 1, "{matches} collisions");
+    }
+}

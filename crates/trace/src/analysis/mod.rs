@@ -1,0 +1,121 @@
+//! Workload-characterization analyses (paper §3.6 metrics, §4 results).
+//!
+//! Each submodule computes one family of metrics straight from a slice of
+//! [`TraceRecord`]s, so analyses can run on live simulation output or on
+//! traces reloaded through [`crate::codec`]:
+//!
+//! * [`size`] — request-size histograms and the 1 KB / 4 KB / 16 KB class
+//!   decomposition behind Figures 2–5 and the paper's §5 taxonomy.
+//! * [`series`] — time-series views (sector scatter for Figures 1 & 6,
+//!   size scatter for Figures 2–5, binned rates).
+//! * [`spatial`] — per-band request distribution, Lorenz curve and Gini
+//!   coefficient (Figure 7, the "80/20 rule" claim).
+//! * [`temporal`] — per-sector access frequency, hot spots and inter-access
+//!   times (Figure 8).
+//! * [`rw`] — read/write mix and request rates (Table 1).
+//! * [`phases`] — activity-phase segmentation: the automated version of the
+//!   paper's figure narratives (startup burst / ingest spike / lull /
+//!   output burst).
+
+pub mod phases;
+pub mod rw;
+pub mod series;
+pub mod size;
+pub mod spatial;
+pub mod temporal;
+
+use serde::Serialize;
+
+use crate::record::TraceRecord;
+use essio_sim::SimTime;
+
+pub use phases::{Phase, PhaseConfig, PhaseKind};
+pub use rw::RwStats;
+pub use size::{ClassBreakdown, SizeClass, SizeHistogram};
+pub use spatial::SpatialLocality;
+pub use temporal::TemporalLocality;
+
+/// Everything the study reports about one trace, in one struct.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceSummary {
+    /// Read/write mix and rates (Table 1).
+    pub rw: RwStats,
+    /// Request-size decomposition (Figures 2–5 / §5 taxonomy).
+    pub sizes: ClassBreakdown,
+    /// Spatial locality per 100 K-sector band (Figure 7).
+    pub spatial: SpatialLocality,
+    /// Temporal locality / hot spots (Figure 8).
+    pub temporal: TemporalLocality,
+}
+
+impl TraceSummary {
+    /// Compute the full summary for a trace spanning `duration` of virtual
+    /// time on a disk with `total_sectors` sectors.
+    pub fn compute(records: &[TraceRecord], duration: SimTime, total_sectors: u32) -> Self {
+        Self {
+            rw: RwStats::compute(records, duration),
+            sizes: ClassBreakdown::compute(records),
+            spatial: SpatialLocality::compute(records, spatial::PAPER_BAND_SECTORS, total_sectors),
+            temporal: TemporalLocality::compute(records, duration),
+        }
+    }
+
+    /// Multi-line human-readable report.
+    pub fn report(&self, name: &str) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("=== {name} ===\n"));
+        s.push_str(&self.rw.report());
+        s.push_str(&self.sizes.report());
+        s.push_str(&self.spatial.report());
+        s.push_str(&self.temporal.report());
+        s
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::record::{Op, Origin, TraceRecord};
+
+    /// Build a record tersely for analysis tests.
+    pub fn rec(ts_s: f64, sector: u32, kib: u32, op: Op) -> TraceRecord {
+        TraceRecord {
+            ts: (ts_s * 1e6) as u64,
+            sector,
+            nsectors: (kib * 2) as u16,
+            pending: 0,
+            node: 0,
+            op,
+            origin: Origin::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::rec;
+    use super::*;
+    use crate::record::Op;
+
+    #[test]
+    fn summary_composes_all_analyses() {
+        let recs = vec![
+            rec(0.0, 100, 1, Op::Write),
+            rec(1.0, 100, 4, Op::Read),
+            rec(2.0, 200_000, 16, Op::Read),
+        ];
+        let s = TraceSummary::compute(&recs, 10_000_000, 1_000_000);
+        assert_eq!(s.rw.total, 3);
+        assert_eq!(s.sizes.total(), 3);
+        let report = s.report("test");
+        assert!(report.contains("test"));
+        assert!(report.contains("reads"));
+    }
+
+    #[test]
+    fn summary_serializes_to_json() {
+        let recs = vec![rec(0.0, 1, 1, Op::Write)];
+        let s = TraceSummary::compute(&recs, 1_000_000, 1_000_000);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"rw\""));
+    }
+}

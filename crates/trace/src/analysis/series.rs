@@ -1,0 +1,211 @@
+//! Time-series views of a trace.
+//!
+//! Figures 1 and 6 of the paper are *sector vs. time* scatter plots; Figures
+//! 2–5 are *request size vs. time* scatter plots. These functions produce
+//! the underlying point series, plus binned rate/byte series useful for
+//! spotting the activity phases the paper narrates (startup paging burst,
+//! the ~50 s wavelet read spike, the computation lull).
+
+use crate::record::{Op, TraceRecord};
+
+/// `(seconds, KiB)` points for a request-size scatter (Figures 2–5).
+pub fn scatter_size(records: &[TraceRecord]) -> Vec<(f64, f64)> {
+    records.iter().map(|r| (r.secs(), r.kib())).collect()
+}
+
+/// `(seconds, sector)` points for a request-location scatter (Figures 1, 6).
+pub fn scatter_sector(records: &[TraceRecord]) -> Vec<(f64, u32)> {
+    records.iter().map(|r| (r.secs(), r.sector)).collect()
+}
+
+/// One bin of aggregated activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Bin start, seconds.
+    pub t0: f64,
+    /// Requests dispatched in the bin.
+    pub requests: u64,
+    /// Bytes transferred in the bin.
+    pub bytes: u64,
+    /// Largest single request in the bin, bytes.
+    pub max_bytes: u32,
+    /// Reads among `requests`.
+    pub reads: u64,
+}
+
+impl Bin {
+    /// Request rate over a bin of `width` seconds.
+    pub fn rate(&self, width: f64) -> f64 {
+        self.requests as f64 / width
+    }
+}
+
+/// Aggregate a trace into fixed-width time bins covering `[0, duration_s]`.
+///
+/// Empty bins are included so lulls are visible (the paper reads the
+/// wavelet lull directly off the plot).
+pub fn binned(records: &[TraceRecord], bin_s: f64, duration_s: f64) -> Vec<Bin> {
+    assert!(bin_s > 0.0, "bin width must be positive");
+    let nbins = (duration_s / bin_s).ceil().max(1.0) as usize;
+    let mut bins: Vec<Bin> = (0..nbins)
+        .map(|i| Bin { t0: i as f64 * bin_s, requests: 0, bytes: 0, max_bytes: 0, reads: 0 })
+        .collect();
+    for r in records {
+        let idx = ((r.secs() / bin_s) as usize).min(nbins - 1);
+        let b = &mut bins[idx];
+        b.requests += 1;
+        b.bytes += r.bytes() as u64;
+        b.max_bytes = b.max_bytes.max(r.bytes());
+        if r.op == Op::Read {
+            b.reads += 1;
+        }
+    }
+    bins
+}
+
+/// Locate the bin with the most bytes transferred — the "spike" the paper
+/// points at ~50 s into the wavelet run (Figure 3).
+pub fn peak_bytes_bin(bins: &[Bin]) -> Option<&Bin> {
+    bins.iter().max_by_key(|b| b.bytes)
+}
+
+/// Longest run of consecutive bins with < `threshold` requests each,
+/// returned as `(start_s, end_s)` — the computation lull detector.
+pub fn longest_lull(bins: &[Bin], threshold: u64, bin_s: f64) -> Option<(f64, f64)> {
+    let mut best: Option<(usize, usize)> = None;
+    let mut run_start: Option<usize> = None;
+    for (i, b) in bins.iter().enumerate() {
+        if b.requests < threshold {
+            run_start.get_or_insert(i);
+        } else if let Some(s) = run_start.take() {
+            if best.map_or(true, |(bs, be)| i - s > be - bs) {
+                best = Some((s, i));
+            }
+        }
+    }
+    if let Some(s) = run_start {
+        let i = bins.len();
+        if best.map_or(true, |(bs, be)| i - s > be - bs) {
+            best = Some((s, i));
+        }
+    }
+    best.map(|(s, e)| (s as f64 * bin_s, e as f64 * bin_s))
+}
+
+/// Thin a scatter series for terminal display: keep at most `max` points,
+/// always retaining each retained stride's maximum-value point so spikes
+/// survive the decimation.
+pub fn downsample(points: &[(f64, f64)], max: usize) -> Vec<(f64, f64)> {
+    if points.len() <= max || max == 0 {
+        return points.to_vec();
+    }
+    let stride = points.len().div_ceil(max);
+    points
+        .chunks(stride)
+        .map(|chunk| {
+            *chunk
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaNs in traces"))
+                .expect("chunks are non-empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::testutil::rec;
+    use crate::record::Op;
+
+    #[test]
+    fn scatter_maps_fields() {
+        let recs = vec![rec(1.5, 42, 4, Op::Read)];
+        assert_eq!(scatter_size(&recs), vec![(1.5, 4.0)]);
+        assert_eq!(scatter_sector(&recs), vec![(1.5, 42)]);
+    }
+
+    #[test]
+    fn binned_counts_and_includes_empty_bins() {
+        let recs = vec![
+            rec(0.1, 0, 1, Op::Write),
+            rec(0.2, 0, 2, Op::Read),
+            rec(2.5, 0, 16, Op::Read),
+        ];
+        let bins = binned(&recs, 1.0, 3.0);
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0].requests, 2);
+        assert_eq!(bins[0].reads, 1);
+        assert_eq!(bins[0].bytes, 3072);
+        assert_eq!(bins[1].requests, 0);
+        assert_eq!(bins[2].max_bytes, 16 * 1024);
+    }
+
+    #[test]
+    fn binned_clamps_late_records_into_last_bin() {
+        let recs = vec![rec(9.9, 0, 1, Op::Write)];
+        let bins = binned(&recs, 1.0, 5.0);
+        assert_eq!(bins.last().unwrap().requests, 1);
+    }
+
+    #[test]
+    fn peak_bin_finds_spike() {
+        let recs = vec![
+            rec(0.5, 0, 1, Op::Write),
+            rec(5.5, 0, 16, Op::Read),
+            rec(5.7, 0, 16, Op::Read),
+        ];
+        let bins = binned(&recs, 1.0, 10.0);
+        let peak = peak_bytes_bin(&bins).unwrap();
+        assert_eq!(peak.t0, 5.0);
+    }
+
+    #[test]
+    fn lull_detector_finds_longest_quiet_stretch() {
+        let recs = vec![
+            rec(0.5, 0, 1, Op::Write),
+            rec(1.5, 0, 1, Op::Write),
+            // quiet 2..7
+            rec(7.5, 0, 1, Op::Write),
+        ];
+        let bins = binned(&recs, 1.0, 10.0);
+        let (s, e) = longest_lull(&bins, 1, 1.0).unwrap();
+        assert_eq!(s, 2.0);
+        assert_eq!(e, 7.0);
+    }
+
+    #[test]
+    fn lull_at_tail_is_detected() {
+        let recs = vec![rec(0.5, 0, 1, Op::Write)];
+        let bins = binned(&recs, 1.0, 5.0);
+        let (s, e) = longest_lull(&bins, 1, 1.0).unwrap();
+        assert_eq!((s, e), (1.0, 5.0));
+    }
+
+    #[test]
+    fn no_lull_when_always_busy() {
+        let recs: Vec<_> = (0..5).map(|i| rec(i as f64 + 0.5, 0, 1, Op::Write)).collect();
+        let bins = binned(&recs, 1.0, 5.0);
+        assert_eq!(longest_lull(&bins, 1, 1.0), None);
+    }
+
+    #[test]
+    fn downsample_preserves_spikes() {
+        let mut points: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, 1.0)).collect();
+        points[777].1 = 32.0;
+        let thin = downsample(&points, 50);
+        assert!(thin.len() <= 50);
+        assert!(thin.iter().any(|(_, v)| *v == 32.0), "spike must survive");
+    }
+
+    #[test]
+    fn downsample_passes_through_small_series() {
+        let points = vec![(0.0, 1.0), (1.0, 2.0)];
+        assert_eq!(downsample(&points, 10), points);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bin_width_panics() {
+        binned(&[], 0.0, 1.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests over the trace layer: codecs must round-trip arbitrary
+//! records, and the analyses must conserve mass (every request counted
+//! exactly once in every view).
+
+use essio_trace::analysis::{rw::RwStats, series, size::ClassBreakdown, spatial, temporal::TemporalLocality};
+use essio_trace::{codec, Op, Origin, TraceRecord};
+use proptest::prelude::*;
+
+fn record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u64..2_000_000_000,
+        0u32..999_900,
+        1u16..=64,
+        0u16..32,
+        0u8..16,
+        any::<bool>(),
+        0u8..8,
+    )
+        .prop_map(|(ts, sector, nsectors, pending, node, read, origin)| TraceRecord {
+            ts,
+            sector,
+            nsectors,
+            pending,
+            node,
+            op: if read { Op::Read } else { Op::Write },
+            origin: Origin::from_u8(origin),
+        })
+}
+
+fn trace(max: usize) -> impl Strategy<Value = Vec<TraceRecord>> {
+    prop::collection::vec(record(), 0..max).prop_map(|mut v| {
+        v.sort_by_key(|r| r.ts);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_codec_roundtrips_arbitrary_traces(t in trace(300)) {
+        let encoded = codec::encode(&t);
+        prop_assert_eq!(codec::decode(&encoded).unwrap(), t);
+    }
+
+    #[test]
+    fn json_codec_roundtrips_arbitrary_traces(t in trace(100)) {
+        let json = codec::to_json(&t).unwrap();
+        prop_assert_eq!(codec::from_json(&json).unwrap(), t);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_record(t in trace(200)) {
+        let csv = codec::to_csv(&t);
+        prop_assert_eq!(csv.lines().count(), t.len() + 1);
+    }
+
+    #[test]
+    fn truncated_binary_never_panics(t in trace(50), cut in 0usize..200) {
+        let encoded = codec::encode(&t);
+        let cut = cut.min(encoded.len());
+        let _ = codec::decode(&encoded[..cut]); // must return Err, not panic
+    }
+
+    #[test]
+    fn size_breakdown_counts_every_request_once(t in trace(300)) {
+        let b = ClassBreakdown::compute(&t);
+        prop_assert_eq!(b.total(), t.len() as u64);
+        prop_assert_eq!(b.histogram.total(), t.len() as u64);
+        // Confusion matrix only counts known origins.
+        let known = t.iter().filter(|r| r.origin != Origin::Unknown).count() as u64;
+        let conf: u64 = b.confusion.iter().map(|(_, _, n)| n).sum();
+        prop_assert_eq!(conf, known);
+    }
+
+    #[test]
+    fn rw_stats_partition_the_trace(t in trace(300)) {
+        let s = RwStats::compute(&t, 1_000_000_000);
+        prop_assert_eq!(s.reads + s.writes, t.len() as u64);
+        let total_bytes: u64 = t.iter().map(|r| r.bytes() as u64).sum();
+        prop_assert_eq!(s.read_bytes + s.write_bytes, total_bytes);
+        if !t.is_empty() {
+            prop_assert!((s.read_pct() + s.write_pct() - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spatial_bands_conserve_requests(t in trace(300), band in 1_000u32..200_000) {
+        let s = spatial::SpatialLocality::compute(&t, band, 1_000_000);
+        prop_assert_eq!(s.total(), t.len() as u64);
+        let pct: f64 = s.bands.iter().map(|b| b.pct).sum();
+        if !t.is_empty() {
+            prop_assert!((pct - 100.0).abs() < 1e-6);
+        }
+        prop_assert!((0.0..=1.0).contains(&s.gini));
+        prop_assert!((0.0..=1.0).contains(&s.top20_fraction));
+    }
+
+    #[test]
+    fn lorenz_curve_is_monotone_and_convex_ordered(counts in prop::collection::vec(0u64..1000, 1..50)) {
+        let pts = spatial::lorenz(&counts);
+        for w in pts.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        // Lorenz curve lies below the diagonal.
+        for (x, y) in &pts {
+            prop_assert!(*y <= *x + 1e-9, "({x}, {y}) above the diagonal");
+        }
+    }
+
+    #[test]
+    fn temporal_counts_match_sector_coverage(t in trace(150)) {
+        let tl = TemporalLocality::compute(&t, 1_000_000_000);
+        let mut sectors = std::collections::HashSet::new();
+        for r in &t {
+            for s in r.sector..r.end_sector() {
+                sectors.insert(s);
+            }
+        }
+        prop_assert_eq!(tl.distinct_sectors, sectors.len() as u64);
+        if let Some(h) = tl.hottest() {
+            prop_assert!(h.accesses >= 1);
+            prop_assert!(h.freq_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn binned_series_conserves_requests_and_bytes(t in trace(300)) {
+        let duration_s = 2_000.0;
+        let bins = series::binned(&t, 10.0, duration_s);
+        let reqs: u64 = bins.iter().map(|b| b.requests).sum();
+        let bytes: u64 = bins.iter().map(|b| b.bytes).sum();
+        prop_assert_eq!(reqs, t.len() as u64);
+        prop_assert_eq!(bytes, t.iter().map(|r| r.bytes() as u64).sum::<u64>());
+        let reads: u64 = bins.iter().map(|b| b.reads).sum();
+        prop_assert_eq!(reads, t.iter().filter(|r| r.op == Op::Read).count() as u64);
+    }
+
+    #[test]
+    fn downsample_never_exceeds_cap_and_keeps_global_max(
+        points in prop::collection::vec((0.0f64..100.0, 0.0f64..64.0), 1..500),
+        cap in 1usize..64,
+    ) {
+        let thin = series::downsample(&points, cap);
+        prop_assert!(thin.len() <= cap.max(points.len().min(cap)));
+        let max_in = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let max_out = thin.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(max_in, max_out, "decimation must keep the peak");
+    }
+}

@@ -1,0 +1,28 @@
+//! Quickstart: assemble a small Beowulf, run the baseline experiment, and
+//! read the instrumented driver's characterization of the quiescent system.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ess_io_study::prelude::*;
+
+fn main() {
+    // Two nodes, 120 virtual seconds of an idle cluster: only the kernel's
+    // own daemons (syslogd, update, table writers, the trace spooler) touch
+    // the disks — the paper's Figure 1 / Table 1 baseline.
+    let result = Experiment::baseline().nodes(2).duration_secs(120).seed(7).run();
+
+    println!("ran {:.0} virtual seconds, captured {} trace records", result.duration_s(), result.trace.len());
+    println!();
+    println!("{}", essio_trace::analysis::RwStats::table_header());
+    println!("{}", result.table1_row());
+    println!();
+    println!("{}", result.summary.report("baseline"));
+
+    // The paper's core observation about the quiescent system:
+    assert_eq!(result.summary.rw.reads, 0, "baseline I/O is pure writes");
+    let mode = result.summary.sizes.histogram.mode().unwrap();
+    assert_eq!(mode, 1024, "1 KB filesystem blocks dominate");
+    println!("=> write-only baseline at the filesystem block size, as in paper §4.1");
+}

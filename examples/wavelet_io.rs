@@ -1,0 +1,49 @@
+//! The wavelet experiment end to end: run the satellite-imagery workload on
+//! the cluster and walk through the I/O phases the paper reads off Figure 3
+//! — startup paging, the streaming-read spike, the computation lull, and
+//! the write-out at the end.
+//!
+//! ```sh
+//! cargo run --example wavelet_io            # quick 2-node variant
+//! cargo run --example wavelet_io -- --full  # paper-scale 16-node run
+//! ```
+
+use ess_io_study::prelude::*;
+use ess_io_study::trace::analysis::{series, SizeClass};
+use ess_io_study::trace::Op;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let exp = if full { Experiment::wavelet() } else { Experiment::wavelet().quick() };
+    let result = exp.seed(11).run();
+    assert!(result.all_clean(), "all ranks must finish: {:?}", result.exits);
+
+    // Figure 3, as the paper plots it (one disk).
+    let fig = figures::fig3(&result);
+    println!("{}", fig.to_ascii(100, 24));
+
+    // Phase narration from the binned series.
+    let node0 = result.node_trace(0);
+    let bins = series::binned(&node0, 5.0, result.duration_s());
+    if let Some(peak) = series::peak_bytes_bin(&bins) {
+        println!("read spike: ~{:.0}s moves {} KB in 5s", peak.t0, peak.bytes / 1024);
+    }
+    if let Some((s, e)) = series::longest_lull(&bins, 3, 5.0) {
+        println!("computation lull: {:.0}s .. {:.0}s (working set resident)", s, e);
+    }
+
+    // The request-size taxonomy of §5.
+    let sizes = &result.summary.sizes;
+    println!();
+    println!("{}", sizes.report());
+    println!("4 KB paging requests: {}", sizes.count(SizeClass::Page4K));
+    let big_reads = result
+        .trace
+        .iter()
+        .filter(|r| r.op == Op::Read && r.bytes() >= 8 * 1024)
+        .count();
+    println!("cache-scale streaming reads (>=8 KB): {big_reads}");
+    println!();
+    println!("{}", result.table1_row());
+    println!("(paper Table 1: wavelet is 49% reads / 51% writes — the only read-heavy app)");
+}

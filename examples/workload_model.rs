@@ -1,0 +1,60 @@
+//! The paper's "next step" (§5): condense a measured trace into a workload
+//! parameter set, regenerate synthetic traffic from it, and validate the
+//! fit — the tuning-tool workflow the authors proposed.
+//!
+//! ```sh
+//! cargo run --example workload_model
+//! ```
+
+use ess_io_study::prelude::*;
+
+fn main() {
+    // Measure a real workload first.
+    let measured = Experiment::nbody().quick().seed(17).run();
+    assert!(measured.all_clean());
+    println!(
+        "measured: {} records over {:.0}s ({})",
+        measured.trace.len(),
+        measured.duration_s(),
+        measured.table1_row().trim()
+    );
+
+    // Fit the parameter set.
+    let model = WorkloadModel::fit(&measured.trace, measured.duration);
+    println!();
+    println!("fitted parameter set:");
+    println!("  rate          {:.3} req/s (cluster-wide)", model.rate_per_s);
+    println!("  read fraction {:.3}", model.read_fraction);
+    println!("  size mix      {} distinct request lengths", model.size_mix.len());
+    println!("  band mix      {} populated 50K-sector bands", model.band_mix.len());
+
+    // Regenerate synthetic traffic and validate the marginals.
+    let synthetic = model.synthesize(99, measured.duration_s());
+    let v = model.validate(&synthetic, measured.duration);
+    println!();
+    println!("synthetic replay: {} records", synthetic.len());
+    println!(
+        "validation: rate err {:.1}%, read-fraction err {:.3}, size chi2 {:.1}, band chi2 {:.1} -> acceptable={}",
+        v.rate_rel_err * 100.0,
+        v.read_frac_err,
+        v.size_chi2,
+        v.band_chi2,
+        v.acceptable()
+    );
+    assert!(v.acceptable(), "the model must reproduce its own marginals");
+
+    // Cross-check: the model of the *wrong* application must not validate.
+    let other = Experiment::wavelet().quick().seed(17).run();
+    let cross = model.validate(&other.trace, other.duration);
+    println!(
+        "cross-check against the wavelet trace: acceptable={} (rate err {:.0}%, read-frac err {:.2})",
+        cross.acceptable(),
+        cross.rate_rel_err * 100.0,
+        cross.read_frac_err
+    );
+    assert!(!cross.acceptable(), "distinct workloads must be distinguishable");
+
+    // The artifact a tuning tool would ingest.
+    println!();
+    println!("JSON parameter set:\n{}", model.to_json());
+}

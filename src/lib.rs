@@ -1,0 +1,28 @@
+//! # ess-io-study — facade crate
+//!
+//! Re-exports the full reproduction of *"An Experimental Study of
+//! Input/Output Characteristics of NASA Earth and Space Sciences
+//! Applications"* (Berry & El-Ghazawi, IPPS 1996). See the `essio` crate for
+//! the experiment runner and `DESIGN.md` at the repository root for the
+//! system inventory.
+//!
+//! ```no_run
+//! use ess_io_study::prelude::*;
+//!
+//! let result = Experiment::baseline().duration_secs(60).run();
+//! println!("{}", result.table1_row());
+//! ```
+
+pub use essio;
+pub use essio_apps as apps;
+pub use essio_disk as disk;
+pub use essio_kernel as kernel;
+pub use essio_net as net;
+pub use essio_pfs as pfs;
+pub use essio_sim as sim;
+pub use essio_trace as trace;
+
+/// Convenient glob import for examples and downstream users.
+pub mod prelude {
+    pub use essio::prelude::*;
+}
