@@ -109,7 +109,13 @@ pub mod tree {
                 }
             }
             let mut t = Octree {
-                nodes: vec![Node { center: [0.0; 3], half, kind: NodeKind::Empty, mass: 0.0, com: [0.0; 3] }],
+                nodes: vec![Node {
+                    center: [0.0; 3],
+                    half,
+                    kind: NodeKind::Empty,
+                    mass: 0.0,
+                    com: [0.0; 3],
+                }],
                 root: 0,
             };
             for (i, b) in bodies.iter().enumerate() {
@@ -139,7 +145,14 @@ pub mod tree {
             ]
         }
 
-        fn insert(&mut self, node: usize, body_idx: usize, body: &Body, bodies: &[Body], depth: usize) {
+        fn insert(
+            &mut self,
+            node: usize,
+            body_idx: usize,
+            body: &Body,
+            bodies: &[Body],
+            depth: usize,
+        ) {
             match self.nodes[node].kind {
                 NodeKind::Empty => {
                     self.nodes[node].kind = NodeKind::Leaf(body_idx);
@@ -161,7 +174,14 @@ pub mod tree {
             }
         }
 
-        fn insert_into_child(&mut self, node: usize, body_idx: usize, body: &Body, bodies: &[Body], depth: usize) {
+        fn insert_into_child(
+            &mut self,
+            node: usize,
+            body_idx: usize,
+            body: &Body,
+            bodies: &[Body],
+            depth: usize,
+        ) {
             let (center, half) = (self.nodes[node].center, self.nodes[node].half);
             let oct = Self::octant(&center, &body.pos);
             let existing_child = {
@@ -239,7 +259,11 @@ pub mod tree {
                 if n.mass == 0.0 {
                     continue;
                 }
-                let d = [n.com[0] - body.pos[0], n.com[1] - body.pos[1], n.com[2] - body.pos[2]];
+                let d = [
+                    n.com[0] - body.pos[0],
+                    n.com[1] - body.pos[1],
+                    n.com[2] - body.pos[2],
+                ];
                 let dist2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
                 let use_cell = match n.kind {
                     NodeKind::Leaf(i) => {
@@ -291,6 +315,7 @@ pub mod tree {
     }
 
     /// One leapfrog (kick-drift-kick) step. Returns interactions performed.
+    #[allow(clippy::needless_range_loop)]
     pub fn leapfrog_step(bodies: &mut [Body], dt: f64, theta: f64) -> u64 {
         let tree = Octree::build(bodies);
         let mut interactions = 0;
@@ -326,6 +351,7 @@ pub mod tree {
     }
 
     /// Total momentum.
+    #[allow(clippy::needless_range_loop)]
     pub fn momentum(bodies: &[Body]) -> [f64; 3] {
         let mut p = [0.0; 3];
         for b in bodies {
@@ -449,11 +475,18 @@ pub fn run(cfg: &NbodyConfig, ctx: &mut AppCtx) -> (u64, Vec<tree::Body>) {
             }
             for r in 0..cfg.ntasks {
                 if r != cfg.rank {
-                    ctx.net(NetOp::Send { to: cfg.task_base + r, tag: TAG_CELLS, data: payload.clone() });
+                    ctx.net(NetOp::Send {
+                        to: cfg.task_base + r,
+                        tag: TAG_CELLS,
+                        data: payload.clone(),
+                    });
                 }
             }
             for _ in 1..cfg.ntasks {
-                match ctx.net(NetOp::Recv { from: None, tag: Some(TAG_CELLS) }) {
+                match ctx.net(NetOp::Recv {
+                    from: None,
+                    tag: Some(TAG_CELLS),
+                }) {
                     NetResult::Message(_) => {}
                     other => panic!("cell recv: {other:?}"),
                 }
@@ -494,7 +527,10 @@ pub fn run(cfg: &NbodyConfig, ctx: &mut AppCtx) -> (u64, Vec<tree::Body>) {
             out.append(ctx, snap);
         }
     }
-    let line = format!("final particles {} interactions {}\n", cfg.particles, total_interactions);
+    let line = format!(
+        "final particles {} interactions {}\n",
+        cfg.particles, total_interactions
+    );
     out.append(ctx, line.into_bytes());
     out.fsync(ctx);
     out.close(ctx);
@@ -518,6 +554,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn plummer_is_roughly_isotropic() {
         let b = sample(4000, 2);
         let com: [f64; 3] = b.iter().fold([0.0; 3], |mut c, x| {
@@ -539,6 +576,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn tree_com_matches_direct_com() {
         let b = sample(300, 4);
         let t = Octree::build(&b);
@@ -588,7 +626,10 @@ mod tests {
         let (err, bh_inter) = rms_error(&b, 0.7);
         assert!(err < 0.05, "θ=0.7 rms accuracy, got {err}");
         let direct_inter = (b.len() * (b.len() - 1)) as u64;
-        assert!(bh_inter < direct_inter / 2, "tree must beat direct: {bh_inter} vs {direct_inter}");
+        assert!(
+            bh_inter < direct_inter / 2,
+            "tree must beat direct: {bh_inter} vs {direct_inter}"
+        );
     }
 
     #[test]
@@ -601,7 +642,8 @@ mod tests {
             leapfrog_step(&mut b, 0.01, 0.6);
         }
         let p1 = momentum(&b);
-        let drift = ((p1[0] - p0[0]).powi(2) + (p1[1] - p0[1]).powi(2) + (p1[2] - p0[2]).powi(2)).sqrt();
+        let drift =
+            ((p1[0] - p0[0]).powi(2) + (p1[1] - p0[1]).powi(2) + (p1[2] - p0[2]).powi(2)).sqrt();
         assert!(drift < 5e-3, "momentum drift {drift}");
     }
 

@@ -87,7 +87,13 @@ pub mod solver {
             assert!(nx >= 4 && ny >= 4, "grid too small for the PPM stencil");
             let stride = nx + 2 * NG;
             let cells = vec![state; stride * (ny + 2 * NG)];
-            Grid { nx, ny, dx: 1.0 / nx as f64, cells, stride }
+            Grid {
+                nx,
+                ny,
+                dx: 1.0 / nx as f64,
+                cells,
+                stride,
+            }
         }
 
         /// Sod shock tube along x: (ρ,p) = (1, 1) | (0.125, 0.1).
@@ -206,9 +212,7 @@ pub mod solver {
                     self.cells[kr] = r;
                 }
             }
-            for i in -(NG as isize)..nx + NG as isize
-
-            {
+            for i in -(NG as isize)..nx + NG as isize {
                 for g in 1..=NG as isize {
                     let (bj, tj) = match bc {
                         Boundary::Reflective => (g - 1, ny - g),
@@ -236,9 +240,18 @@ pub mod solver {
             self.sweep_y(dt);
         }
 
+        #[allow(clippy::needless_range_loop)]
         fn sweep_x(&mut self, dt: f64) {
             let n = self.nx;
-            let mut pencil = vec![State { rho: 0.0, mx: 0.0, my: 0.0, e: 0.0 }; n + 2 * NG];
+            let mut pencil = vec![
+                State {
+                    rho: 0.0,
+                    mx: 0.0,
+                    my: 0.0,
+                    e: 0.0
+                };
+                n + 2 * NG
+            ];
             for j in 0..self.ny {
                 for ii in 0..n + 2 * NG {
                     pencil[ii] = self.cells[self.idx(ii as isize - NG as isize, j as isize)];
@@ -250,9 +263,18 @@ pub mod solver {
             }
         }
 
+        #[allow(clippy::needless_range_loop)]
         fn sweep_y(&mut self, dt: f64) {
             let n = self.ny;
-            let mut pencil = vec![State { rho: 0.0, mx: 0.0, my: 0.0, e: 0.0 }; n + 2 * NG];
+            let mut pencil = vec![
+                State {
+                    rho: 0.0,
+                    mx: 0.0,
+                    my: 0.0,
+                    e: 0.0
+                };
+                n + 2 * NG
+            ];
             for i in 0..self.nx {
                 for jj in 0..n + 2 * NG {
                     pencil[jj] = self.cells[self.idx(i as isize, jj as isize - NG as isize)];
@@ -378,7 +400,12 @@ pub mod solver {
         let mut fluxes = vec![[0.0; 4]; n];
         for j in NG - 1..n - NG {
             let l = [edges[0][j].1, edges[1][j].1, edges[2][j].1, edges[3][j].1];
-            let r = [edges[0][j + 1].0, edges[1][j + 1].0, edges[2][j + 1].0, edges[3][j + 1].0];
+            let r = [
+                edges[0][j + 1].0,
+                edges[1][j + 1].0,
+                edges[2][j + 1].0,
+                edges[3][j + 1].0,
+            ];
             fluxes[j] = hll(l, r);
         }
         let mut out = Vec::with_capacity(n - 2 * NG);
@@ -390,9 +417,19 @@ pub mod solver {
             // Positivity floor (matches production codes' density floor).
             u[0] = u[0].max(1e-10);
             let s = if transpose {
-                State { rho: u[0], mx: u[2], my: u[1], e: u[3] }
+                State {
+                    rho: u[0],
+                    mx: u[2],
+                    my: u[1],
+                    e: u[3],
+                }
             } else {
-                State { rho: u[0], mx: u[1], my: u[2], e: u[3] }
+                State {
+                    rho: u[0],
+                    mx: u[1],
+                    my: u[2],
+                    e: u[3],
+                }
             };
             out.push(s);
         }
@@ -483,8 +520,15 @@ pub fn run(cfg: &PpmConfig, ctx: &mut AppCtx) -> Vec<solver::Grid> {
                 let boundary: Vec<u8> = (0..grid.nx)
                     .flat_map(|i| grid.at(i, grid.ny - 1).rho.to_le_bytes())
                     .collect();
-                ctx.net(NetOp::Send { to: next, tag: TAG_HALO, data: boundary });
-                match ctx.net(NetOp::Recv { from: Some(prev), tag: Some(TAG_HALO) }) {
+                ctx.net(NetOp::Send {
+                    to: next,
+                    tag: TAG_HALO,
+                    data: boundary,
+                });
+                match ctx.net(NetOp::Recv {
+                    from: Some(prev),
+                    tag: Some(TAG_HALO),
+                }) {
                     NetResult::Message(m) => {
                         // Fold the neighbour's boundary density into our
                         // ghost row source (weak coupling keeps grids
@@ -526,7 +570,13 @@ fn stats_line(step: usize, grids: &[solver::Grid]) -> String {
     use std::fmt::Write as _;
     let mut s = format!("step {step}");
     for g in grids {
-        let _ = write!(s, " mass={:.6} energy={:.6} rho_min={:.6}", g.total_mass() * g.dx * g.dx, g.total_energy() * g.dx * g.dx, g.min_density());
+        let _ = write!(
+            s,
+            " mass={:.6} energy={:.6} rho_min={:.6}",
+            g.total_mass() * g.dx * g.dx,
+            g.total_energy() * g.dx * g.dx,
+            g.min_density()
+        );
     }
     s.push('\n');
     s
@@ -565,8 +615,16 @@ mod tests {
         }
         let m1 = g.total_mass();
         let e1 = g.total_energy();
-        assert!((m1 - m0).abs() / m0 < 1e-10, "mass drift {:.3e}", (m1 - m0) / m0);
-        assert!((e1 - e0).abs() / e0 < 1e-10, "energy drift {:.3e}", (e1 - e0) / e0);
+        assert!(
+            (m1 - m0).abs() / m0 < 1e-10,
+            "mass drift {:.3e}",
+            (m1 - m0) / m0
+        );
+        assert!(
+            (e1 - e0).abs() / e0 < 1e-10,
+            "energy drift {:.3e}",
+            (e1 - e0) / e0
+        );
     }
 
     #[test]
@@ -616,7 +674,10 @@ mod tests {
                 let a = g.at(i, j).rho;
                 let b = g.at(n - 1 - i, j).rho;
                 let c = g.at(i, n - 1 - j).rho;
-                assert!((a - b).abs() < 1e-8, "x mirror broken at ({i},{j}): {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-8,
+                    "x mirror broken at ({i},{j}): {a} vs {b}"
+                );
                 assert!((a - c).abs() < 1e-8, "y mirror broken at ({i},{j})");
             }
         }
@@ -641,8 +702,14 @@ mod tests {
         }
         let edges = ppm_edges(&a);
         for (j, (al, ar)) in edges.iter().enumerate().take(14).skip(2) {
-            assert!(*al <= 1.0 + 1e-12 && *al >= 0.125 - 1e-12, "overshoot at {j}");
-            assert!(*ar <= 1.0 + 1e-12 && *ar >= 0.125 - 1e-12, "overshoot at {j}");
+            assert!(
+                *al <= 1.0 + 1e-12 && *al >= 0.125 - 1e-12,
+                "overshoot at {j}"
+            );
+            assert!(
+                *ar <= 1.0 + 1e-12 && *ar >= 0.125 - 1e-12,
+                "overshoot at {j}"
+            );
         }
     }
 

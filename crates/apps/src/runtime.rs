@@ -71,9 +71,18 @@ pub struct SimFile {
 
 impl SimFile {
     /// Open (optionally create) a file.
-    pub fn open(ctx: &mut AppCtx, path: &str, create: bool, placement: essio_kernel::Placement) -> SimFile {
+    pub fn open(
+        ctx: &mut AppCtx,
+        path: &str,
+        create: bool,
+        placement: essio_kernel::Placement,
+    ) -> SimFile {
         let fd = ctx
-            .sys(Syscall::Open { path: path.to_string(), create, placement })
+            .sys(Syscall::Open {
+                path: path.to_string(),
+                create,
+                placement,
+            })
             .fd();
         SimFile { fd, offset: 0 }
     }
@@ -81,7 +90,11 @@ impl SimFile {
     /// Sequential read of up to `len` bytes (advances the cursor).
     pub fn read(&mut self, ctx: &mut AppCtx, len: u32) -> Vec<u8> {
         let data = ctx
-            .sys(Syscall::ReadAt { fd: self.fd, offset: self.offset, len })
+            .sys(Syscall::ReadAt {
+                fd: self.fd,
+                offset: self.offset,
+                len,
+            })
             .data();
         self.offset += data.len() as u64;
         data
@@ -90,7 +103,11 @@ impl SimFile {
     /// Sequential write (advances the cursor).
     pub fn write(&mut self, ctx: &mut AppCtx, data: Vec<u8>) {
         let n = data.len() as u64;
-        match ctx.sys(Syscall::WriteAt { fd: self.fd, offset: self.offset, data }) {
+        match ctx.sys(Syscall::WriteAt {
+            fd: self.fd,
+            offset: self.offset,
+            data,
+        }) {
             SysResult::Written(_) => {}
             other => panic!("write failed: {other:?}"),
         }
@@ -200,7 +217,11 @@ impl PagedRegion {
 /// compute in between (loader + relocation + init), generating the startup
 /// page-in burst. Returns the text mapping base.
 pub fn load_program(ctx: &mut AppCtx, path: &str) -> (Vpn, u32) {
-    let (base, pages) = ctx.sys(Syscall::MapText { path: path.to_string() }).mapped();
+    let (base, pages) = ctx
+        .sys(Syscall::MapText {
+            path: path.to_string(),
+        })
+        .mapped();
     for p in 0..pages {
         ctx.touch(base + p as Vpn);
         ctx.compute(120); // relocate/init per page on a 486
@@ -233,15 +254,23 @@ mod tests {
         let mut host = Host::spawn("t", ProcConfig::default(), |ctx| {
             let r = ctx.sys(Syscall::Stat { path: "/x".into() });
             assert!(matches!(r, SysResult::Stat { size: 7 }));
-            let r = ctx.net(NetOp::Send { to: 1, tag: 0, data: vec![] });
+            let r = ctx.net(NetOp::Send {
+                to: 1,
+                tag: 0,
+                data: vec![],
+            });
             assert!(matches!(r, NetResult::Sent));
             0
         });
         let msg = host.start(0);
-        let essio_sim::ProcMsg::Request { call, .. } = msg else { panic!("{msg:?}") };
+        let essio_sim::ProcMsg::Request { call, .. } = msg else {
+            panic!("{msg:?}")
+        };
         assert!(matches!(call, AppCall::Sys(Syscall::Stat { .. })));
         let msg = host.resume(1, AppReply::Sys(SysResult::Stat { size: 7 }));
-        let essio_sim::ProcMsg::Request { call, .. } = msg else { panic!("{msg:?}") };
+        let essio_sim::ProcMsg::Request { call, .. } = msg else {
+            panic!("{msg:?}")
+        };
         assert!(matches!(call, AppCall::Net(NetOp::Send { .. })));
         let msg = host.resume(2, AppReply::Net(NetResult::Sent));
         assert!(matches!(msg, essio_sim::ProcMsg::Exit { code: 0, .. }));
@@ -261,21 +290,43 @@ mod tests {
 
     #[test]
     fn paged_region_touch_fraction_covers_expected_pages() {
-        let mut host = Host::spawn("t", ProcConfig { compute_flush_us: u64::MAX, touch_flush: 1 << 20 }, |ctx| {
-            let region = PagedRegion { base: 100, pages: 10 };
-            region.touch_fraction(ctx, 0.0, 0.5);
-            ctx.request(AppCall::Net(NetOp::Send { to: 0, tag: 0, data: vec![] }));
-            region.touch_fraction(ctx, 0.5, 1.0);
-            region.touch_byte(ctx, 0);
-            region.touch_bytes(ctx, 4096, 8192);
-            ctx.request(AppCall::Net(NetOp::Send { to: 0, tag: 0, data: vec![] }));
-            0
-        });
+        let mut host = Host::spawn(
+            "t",
+            ProcConfig {
+                compute_flush_us: u64::MAX,
+                touch_flush: 1 << 20,
+            },
+            |ctx| {
+                let region = PagedRegion {
+                    base: 100,
+                    pages: 10,
+                };
+                region.touch_fraction(ctx, 0.0, 0.5);
+                ctx.request(AppCall::Net(NetOp::Send {
+                    to: 0,
+                    tag: 0,
+                    data: vec![],
+                }));
+                region.touch_fraction(ctx, 0.5, 1.0);
+                region.touch_byte(ctx, 0);
+                region.touch_bytes(ctx, 4096, 8192);
+                ctx.request(AppCall::Net(NetOp::Send {
+                    to: 0,
+                    tag: 0,
+                    data: vec![],
+                }));
+                0
+            },
+        );
         let msg = host.start(0);
-        let essio_sim::ProcMsg::Request { touches, .. } = msg else { panic!() };
+        let essio_sim::ProcMsg::Request { touches, .. } = msg else {
+            panic!()
+        };
         assert_eq!(touches, (100..105).collect::<Vec<_>>());
         let msg = host.resume(1, AppReply::Net(NetResult::Sent));
-        let essio_sim::ProcMsg::Request { touches, .. } = msg else { panic!() };
+        let essio_sim::ProcMsg::Request { touches, .. } = msg else {
+            panic!()
+        };
         assert_eq!(touches[..5], [105, 106, 107, 108, 109]);
         assert_eq!(touches[5], 100, "touch_byte(0)");
         assert_eq!(&touches[6..], &[101, 102], "touch_bytes spans pages 1..3");
@@ -284,13 +335,26 @@ mod tests {
 
     #[test]
     fn cost_flops_accumulates_compute() {
-        let mut host = Host::spawn("t", ProcConfig { compute_flush_us: u64::MAX, touch_flush: 1 << 20 }, |ctx| {
-            cost::flops(ctx, 1_000_000.0); // 0.2 s of 486 time
-            ctx.request(AppCall::Net(NetOp::Send { to: 0, tag: 0, data: vec![] }));
-            0
-        });
+        let mut host = Host::spawn(
+            "t",
+            ProcConfig {
+                compute_flush_us: u64::MAX,
+                touch_flush: 1 << 20,
+            },
+            |ctx| {
+                cost::flops(ctx, 1_000_000.0); // 0.2 s of 486 time
+                ctx.request(AppCall::Net(NetOp::Send {
+                    to: 0,
+                    tag: 0,
+                    data: vec![],
+                }));
+                0
+            },
+        );
         let msg = host.start(0);
-        let essio_sim::ProcMsg::Compute { micros, .. } = msg else { panic!("{msg:?}") };
+        let essio_sim::ProcMsg::Compute { micros, .. } = msg else {
+            panic!("{msg:?}")
+        };
         assert_eq!(micros, 200_000);
         let msg = host.resume_compute(200_000);
         assert!(matches!(msg, essio_sim::ProcMsg::Request { .. }));

@@ -43,9 +43,9 @@ pub mod transform {
         pub fn lowpass(self) -> &'static [f64] {
             const SQRT1_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
             const D4: [f64; 4] = [
-                0.48296291314469025, // (1+√3)/(4√2)
-                0.836516303737469,   // (3+√3)/(4√2)
-                0.22414386804185735, // (3-√3)/(4√2)
+                0.48296291314469025,  // (1+√3)/(4√2)
+                0.836516303737469,    // (3+√3)/(4√2)
+                0.22414386804185735,  // (3-√3)/(4√2)
                 -0.12940952255092145, // (1-√3)/(4√2)
             ];
             match self {
@@ -62,7 +62,13 @@ pub mod transform {
             let h = self.lowpass();
             let l = h.len();
             (0..l)
-                .map(|n| if n % 2 == 0 { h[l - 1 - n] } else { -h[l - 1 - n] })
+                .map(|n| {
+                    if n % 2 == 0 {
+                        h[l - 1 - n]
+                    } else {
+                        -h[l - 1 - n]
+                    }
+                })
                 .collect()
         }
     }
@@ -71,7 +77,7 @@ pub mod transform {
     /// approximations then details, concatenated.
     pub fn analyze_1d(x: &[f64], filter: Filter) -> Vec<f64> {
         let n = x.len();
-        assert!(n >= 2 && n % 2 == 0, "need even-length signal");
+        assert!(n >= 2 && n.is_multiple_of(2), "need even-length signal");
         let h = filter.lowpass();
         let g = filter.highpass();
         let half = n / 2;
@@ -93,7 +99,7 @@ pub mod transform {
     /// Inverse of [`analyze_1d`].
     pub fn synthesize_1d(c: &[f64], filter: Filter) -> Vec<f64> {
         let n = c.len();
-        assert!(n >= 2 && n % 2 == 0);
+        assert!(n >= 2 && n.is_multiple_of(2));
         let h = filter.lowpass();
         let g = filter.highpass();
         let half = n / 2;
@@ -119,7 +125,10 @@ pub mod transform {
         /// From raw bytes (row-major, length `n*n`).
         pub fn from_bytes(n: usize, bytes: &[u8]) -> Image {
             assert_eq!(bytes.len(), n * n, "byte count must match n²");
-            Image { n, data: bytes.iter().map(|&b| b as f64).collect() }
+            Image {
+                n,
+                data: bytes.iter().map(|&b| b as f64).collect(),
+            }
         }
 
         /// Sum of squared samples (energy).
@@ -332,7 +341,10 @@ pub fn run(cfg: &WaveletConfig, ctx: &mut AppCtx) -> (f64, f64, f64) {
         if cfg.rank == 0 {
             let mut total = e_after;
             for _ in 1..cfg.ntasks {
-                match ctx.net(NetOp::Recv { from: None, tag: Some(TAG_REDUCE) }) {
+                match ctx.net(NetOp::Recv {
+                    from: None,
+                    tag: Some(TAG_REDUCE),
+                }) {
                     NetResult::Message(m) => {
                         total += f64::from_le_bytes(m.data[..8].try_into().expect("8-byte energy"));
                     }
@@ -368,7 +380,10 @@ pub fn run(cfg: &WaveletConfig, ctx: &mut AppCtx) -> (f64, f64, f64) {
         ctx.compute(300);
         written += n;
     }
-    out.append(ctx, format!("energy {e_before:.3} -> {e_after:.3} sparsity {sparsity:.4}\n").into_bytes());
+    out.append(
+        ctx,
+        format!("energy {e_before:.3} -> {e_after:.3} sparsity {sparsity:.4}\n").into_bytes(),
+    );
     out.fsync(ctx);
     out.close(ctx);
     (e_before, e_after, sparsity)
@@ -379,7 +394,9 @@ mod tests {
     use super::transform::*;
 
     fn ramp(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.7).sin() * 10.0 + i as f64).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.7).sin() * 10.0 + i as f64)
+            .collect()
     }
 
     #[test]
@@ -478,7 +495,10 @@ mod tests {
         let mut img = Image::from_bytes(n, &bytes);
         analyze_2d(&mut img, 4, Filter::Daub4);
         let s = sparsity(&img, 1.0);
-        assert!(s > 0.5, "smooth image should be sparse in wavelet basis, got {s}");
+        assert!(
+            s > 0.5,
+            "smooth image should be sparse in wavelet basis, got {s}"
+        );
     }
 
     #[test]

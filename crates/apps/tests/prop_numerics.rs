@@ -1,9 +1,13 @@
+#![cfg(feature = "proptests")]
+
 //! Property tests over the three numerical kernels: the invariants that
 //! make them *real* implementations rather than I/O stand-ins.
 
 use essio_apps::nbody::tree;
 use essio_apps::ppm::solver;
-use essio_apps::wavelet::transform::{analyze_1d, analyze_2d, synthesize_1d, synthesize_2d, Filter, Image};
+use essio_apps::wavelet::transform::{
+    analyze_1d, analyze_2d, synthesize_1d, synthesize_2d, Filter, Image,
+};
 use essio_sim::SimRng;
 use proptest::prelude::*;
 
@@ -126,12 +130,21 @@ proptest! {
 
 fn bodies(n: usize) -> impl Strategy<Value = Vec<tree::Body>> {
     prop::collection::vec(
-        ((-10.0f64..10.0), (-10.0f64..10.0), (-10.0f64..10.0), 0.001f64..1.0),
+        (
+            (-10.0f64..10.0),
+            (-10.0f64..10.0),
+            (-10.0f64..10.0),
+            0.001f64..1.0,
+        ),
         1..=n,
     )
     .prop_map(|v| {
         v.into_iter()
-            .map(|(x, y, z, m)| tree::Body { pos: [x, y, z], vel: [0.0; 3], mass: m })
+            .map(|(x, y, z, m)| tree::Body {
+                pos: [x, y, z],
+                vel: [0.0; 3],
+                mass: m,
+            })
             .collect()
     })
 }
@@ -140,6 +153,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn octree_aggregates_mass_and_com_exactly(b in bodies(64)) {
         let t = tree::Octree::build(&b);
         let total: f64 = b.iter().map(|x| x.mass).sum();

@@ -13,13 +13,30 @@ fn bench(c: &mut Criterion) {
     for n in [10_000usize, 100_000] {
         let records = synthetic_trace(n);
         g.bench_with_input(BenchmarkId::new("full_summary", n), &records, |b, recs| {
-            b.iter(|| black_box(TraceSummary::compute(black_box(recs), 2_000_000_000, 1_000_000)))
+            b.iter(|| {
+                black_box(TraceSummary::compute(
+                    black_box(recs),
+                    2_000_000_000,
+                    1_000_000,
+                ))
+            })
         });
         g.bench_with_input(BenchmarkId::new("spatial_only", n), &records, |b, recs| {
-            b.iter(|| black_box(analysis::SpatialLocality::compute(black_box(recs), 100_000, 1_000_000)))
+            b.iter(|| {
+                black_box(analysis::SpatialLocality::compute(
+                    black_box(recs),
+                    100_000,
+                    1_000_000,
+                ))
+            })
         });
         g.bench_with_input(BenchmarkId::new("temporal_only", n), &records, |b, recs| {
-            b.iter(|| black_box(analysis::TemporalLocality::compute(black_box(recs), 2_000_000_000)))
+            b.iter(|| {
+                black_box(analysis::TemporalLocality::compute(
+                    black_box(recs),
+                    2_000_000_000,
+                ))
+            })
         });
     }
     g.finish();

@@ -23,15 +23,19 @@ fn bench(c: &mut Criterion) {
     });
 
     for n in [128usize, 256] {
-        g.bench_with_input(BenchmarkId::new("wavelet_analyze2d_daub4", n), &n, |b, &n| {
-            let bytes: Vec<u8> = (0..n * n).map(|k| (k % 251) as u8).collect();
-            let img = transform::Image::from_bytes(n, &bytes);
-            b.iter(|| {
-                let mut im = img.clone();
-                transform::analyze_2d(&mut im, 4, transform::Filter::Daub4);
-                black_box(im.energy())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("wavelet_analyze2d_daub4", n),
+            &n,
+            |b, &n| {
+                let bytes: Vec<u8> = (0..n * n).map(|k| (k % 251) as u8).collect();
+                let img = transform::Image::from_bytes(n, &bytes);
+                b.iter(|| {
+                    let mut im = img.clone();
+                    transform::analyze_2d(&mut im, 4, transform::Filter::Daub4);
+                    black_box(im.energy())
+                })
+            },
+        );
     }
 
     g.bench_function("nbody_tree_build_2k", |b| {

@@ -15,19 +15,23 @@ fn bench(c: &mut Criterion) {
     });
 
     for capacity in [256usize, 1536, 8192] {
-        g.bench_with_input(BenchmarkId::new("churn_10k", capacity), &capacity, |b, &cap| {
-            b.iter(|| {
-                let mut cache = BufferCache::new(cap);
-                for i in 0..10_000u32 {
-                    if i % 3 == 0 {
-                        cache.mark_dirty(i, Origin::FileData);
-                    } else {
-                        cache.insert_clean(i, Origin::FileData);
+        g.bench_with_input(
+            BenchmarkId::new("churn_10k", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut cache = BufferCache::new(cap);
+                    for i in 0..10_000u32 {
+                        if i % 3 == 0 {
+                            cache.mark_dirty(i, Origin::FileData);
+                        } else {
+                            cache.insert_clean(i, Origin::FileData);
+                        }
                     }
-                }
-                black_box(cache.len())
-            })
-        });
+                    black_box(cache.len())
+                })
+            },
+        );
     }
 
     g.bench_function("take_dirty_1k", |b| {

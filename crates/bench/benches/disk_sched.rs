@@ -46,9 +46,11 @@ fn drive(policy: SchedPolicy, n: u64) -> u64 {
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("disk_sched");
     for policy in [SchedPolicy::Fifo, SchedPolicy::Elevator] {
-        g.bench_with_input(BenchmarkId::new("drive_2k_requests", format!("{policy:?}")), &policy, |b, &p| {
-            b.iter(|| drive(black_box(p), 2_000))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("drive_2k_requests", format!("{policy:?}")),
+            &policy,
+            |b, &p| b.iter(|| drive(black_box(p), 2_000)),
+        );
     }
     g.finish();
 

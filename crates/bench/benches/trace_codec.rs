@@ -11,10 +11,18 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("trace_codec");
     g.throughput(Throughput::Elements(records.len() as u64));
-    g.bench_function("encode_binary", |b| b.iter(|| black_box(codec::encode(black_box(&records)))));
-    g.bench_function("decode_binary", |b| b.iter(|| black_box(codec::decode(black_box(&encoded)).unwrap())));
-    g.bench_function("to_csv", |b| b.iter(|| black_box(codec::to_csv(black_box(&records[..10_000])))));
-    g.bench_function("to_json", |b| b.iter(|| black_box(codec::to_json(black_box(&records[..10_000])).unwrap())));
+    g.bench_function("encode_binary", |b| {
+        b.iter(|| black_box(codec::encode(black_box(&records))))
+    });
+    g.bench_function("decode_binary", |b| {
+        b.iter(|| black_box(codec::decode(black_box(&encoded)).unwrap()))
+    });
+    g.bench_function("to_csv", |b| {
+        b.iter(|| black_box(codec::to_csv(black_box(&records[..10_000]))))
+    });
+    g.bench_function("to_json", |b| {
+        b.iter(|| black_box(codec::to_json(black_box(&records[..10_000])).unwrap()))
+    });
     g.finish();
 }
 

@@ -29,7 +29,10 @@ fn bench(c: &mut Criterion) {
         exit_off as f64 / 1e6,
         exit_full as f64 / 1e6
     );
-    assert_eq!(exit_off, exit_full, "the trace hook must sit off the timing path");
+    assert_eq!(
+        exit_off, exit_full,
+        "the trace hook must sit off the timing path"
+    );
 
     let mut g = c.benchmark_group("tracer_overhead");
     let rec = TraceRecord {
@@ -41,7 +44,11 @@ fn bench(c: &mut Criterion) {
         op: Op::Write,
         origin: Origin::Log,
     };
-    for level in [InstrumentationLevel::Off, InstrumentationLevel::Basic, InstrumentationLevel::Full] {
+    for level in [
+        InstrumentationLevel::Off,
+        InstrumentationLevel::Basic,
+        InstrumentationLevel::Full,
+    ] {
         g.bench_function(format!("log_hook_{level:?}"), |b| {
             let mut buf = TraceBuffer::new(1 << 16);
             buf.set_level(level);

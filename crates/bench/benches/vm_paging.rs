@@ -33,7 +33,9 @@ fn bench(c: &mut Criterion) {
             for round in 0..4u64 {
                 for p in 0..1024 {
                     match vm.touch(1, base + p) {
-                        TouchResult::Fault { swap_outs, .. } => swap_io += 1 + swap_outs.len() as u64,
+                        TouchResult::Fault { swap_outs, .. } => {
+                            swap_io += 1 + swap_outs.len() as u64
+                        }
                         TouchResult::Hit => {}
                         other => panic!("{other:?} in round {round}"),
                     }

@@ -36,11 +36,27 @@ fn main() {
         run(|e| e.cluster.readahead = false)
     };
     let big = |r: &ExperimentResult| {
-        r.trace.iter().filter(|t| t.op == Op::Read && t.bytes() >= 8192).count()
+        r.trace
+            .iter()
+            .filter(|t| t.op == Op::Read && t.bytes() >= 8192)
+            .count()
     };
-    println!("  >=8KB reads: with read-ahead {}, without {}", big(&base), big(&no_ra));
-    let reads = |r: &ExperimentResult| r.trace.iter().filter(|t| t.op == Op::Read && t.origin == essio_trace::Origin::FileData).count();
-    println!("  file-data read requests: with {}, without {}", reads(&base), reads(&no_ra));
+    println!(
+        "  >=8KB reads: with read-ahead {}, without {}",
+        big(&base),
+        big(&no_ra)
+    );
+    let reads = |r: &ExperimentResult| {
+        r.trace
+            .iter()
+            .filter(|t| t.op == Op::Read && t.origin == essio_trace::Origin::FileData)
+            .count()
+    };
+    println!(
+        "  file-data read requests: with {}, without {}",
+        reads(&base),
+        reads(&no_ra)
+    );
 
     println!("== scheduler ablation (elevator vs FIFO) ==");
     let fifo = run(|e| e.cluster.sched = essio_disk::SchedPolicy::Fifo);

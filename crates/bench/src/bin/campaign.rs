@@ -1,0 +1,176 @@
+//! Parallel seed campaign with streaming analytics.
+//!
+//! Runs one experiment kind across N seeds concurrently (rayon fan-out),
+//! each run in *streaming* mode: records fold into a per-run
+//! [`StreamSummary`] as they leave the kernel rings and the raw trace is
+//! never accumulated, so peak resident trace memory per run is bounded by
+//! the kernel ring capacities regardless of run length. The per-seed
+//! shards are then reduced with a parallel merge and reported as:
+//!
+//! * a merged Table-1 row (per-disk averages over the whole campaign),
+//! * per-seed divergence: each seed's read% and req/s against the merged
+//!   figure, flagging outlier seeds,
+//! * the sketch views (hot-sector sketch, inter-arrival histogram).
+//!
+//! Usage: `campaign [--seeds N] [--kind baseline|ppm|wavelet|nbody|combined]
+//! [--full]` — defaults: 8 seeds, combined, quick scale.
+
+use rayon::prelude::*;
+
+use essio::prelude::*;
+use essio_stream::{merge_all, StreamConfig, StreamSummary};
+
+struct Args {
+    seeds: u64,
+    kind: ExperimentKind,
+    full: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seeds: 8,
+        kind: ExperimentKind::Combined,
+        full: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = it.next().unwrap_or_default();
+                args.seeds = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seeds needs a positive integer, got {v:?}");
+                    std::process::exit(2);
+                });
+                if args.seeds == 0 {
+                    eprintln!("--seeds must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--kind" => {
+                args.kind = match it.next().unwrap_or_default().as_str() {
+                    "baseline" => ExperimentKind::Baseline,
+                    "ppm" => ExperimentKind::Ppm,
+                    "wavelet" => ExperimentKind::Wavelet,
+                    "nbody" => ExperimentKind::Nbody,
+                    "combined" => ExperimentKind::Combined,
+                    other => {
+                        eprintln!("unknown kind {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--full" => args.full = true,
+            "--help" | "-h" => {
+                eprintln!("usage: campaign [--seeds N] [--kind baseline|ppm|wavelet|nbody|combined] [--full]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn experiment(kind: ExperimentKind, full: bool, seed: u64) -> Experiment {
+    let e = match kind {
+        ExperimentKind::Baseline => Experiment::baseline(),
+        ExperimentKind::Ppm => Experiment::ppm(),
+        ExperimentKind::Wavelet => Experiment::wavelet(),
+        ExperimentKind::Nbody => Experiment::nbody(),
+        ExperimentKind::Combined => Experiment::combined(),
+    };
+    let e = if full { e } else { e.quick() };
+    e.seed(seed)
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = StreamConfig::paper(essio_disk::DiskGeometry::BEOWULF_500MB.total_sectors());
+    let kind = args.kind;
+    let scale = if args.full {
+        "full (16-node)"
+    } else {
+        "quick (2-node)"
+    };
+    eprintln!(
+        "campaign: {} x {} seeds at {scale} scale, {} workers, streaming (trace never materialised)",
+        kind.name(),
+        args.seeds,
+        rayon::max_threads().min(args.seeds as usize),
+    );
+
+    let t0 = std::time::Instant::now();
+    let seeds: Vec<u64> = (1..=args.seeds).collect();
+    let runs: Vec<(u64, StreamedRun, StreamSummary)> = seeds
+        .into_par_iter()
+        .map(|seed| {
+            let (run, summary) =
+                experiment(kind, args.full, seed).run_streamed(StreamSummary::new(cfg));
+            (seed, run, summary)
+        })
+        .collect();
+    eprintln!("campaign finished in {:.2?} host time", t0.elapsed());
+
+    let nodes = runs.first().map(|(_, r, _)| r.nodes).unwrap_or(1).max(1) as u64;
+    let total_duration: u64 = runs.iter().map(|(_, r, _)| r.duration).sum();
+
+    // Per-seed finalized views (each bit-identical to what a batch analysis
+    // of that seed's trace would report).
+    let per_seed: Vec<(u64, f64, f64, u64)> = runs
+        .iter()
+        .map(|(seed, run, s)| {
+            let rw = s.rw.finalize(run.duration);
+            (*seed, rw.read_pct(), rw.req_per_sec(), rw.total)
+        })
+        .collect();
+
+    // Cross-seed reduction: parallel shard merge, then one report.
+    let shards: Vec<StreamSummary> = runs.into_iter().map(|(_, _, s)| s).collect();
+    let merged = merge_all(shards).expect("at least one seed");
+
+    let mut rw = merged.rw.finalize(total_duration);
+    rw.reads /= nodes;
+    rw.writes /= nodes;
+    rw.total /= nodes;
+    rw.read_bytes /= nodes;
+    rw.write_bytes /= nodes;
+
+    println!(
+        "merged Table-1 row ({} seeds, average per disk):",
+        per_seed.len()
+    );
+    println!("{}", essio_trace::analysis::RwStats::table_header());
+    println!("{}", rw.table_row(kind.name()));
+    println!();
+
+    let mean_read = per_seed.iter().map(|(_, r, _, _)| r).sum::<f64>() / per_seed.len() as f64;
+    let mean_rate = per_seed.iter().map(|(_, _, q, _)| q).sum::<f64>() / per_seed.len() as f64;
+    println!("per-seed divergence (vs campaign mean):");
+    println!("  seed   reads%   Δreads%    req/s    Δreq/s   total");
+    for (seed, read, rate, total) in &per_seed {
+        println!(
+            "  {seed:>4} {read:>8.2} {:>+9.2} {rate:>8.2} {:>+9.2} {total:>7}",
+            read - mean_read,
+            rate - mean_rate,
+        );
+    }
+    let max_rate_dev = per_seed
+        .iter()
+        .map(|(_, _, q, _)| (q - mean_rate).abs())
+        .fold(0.0, f64::max);
+    println!(
+        "  max |Δreq/s| = {max_rate_dev:.3} ({:.1}% of mean)",
+        100.0 * max_rate_dev / mean_rate.max(1e-9)
+    );
+    println!();
+
+    println!(
+        "{}",
+        merged.report(
+            &format!("{} campaign (merged)", kind.name()),
+            total_duration
+        )
+    );
+}

@@ -38,7 +38,10 @@ fn main() {
         r.all_clean()
     );
     if json {
-        println!("{}", serde_json::to_string_pretty(&r.summary).expect("summary serializes"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&r.summary).expect("summary serializes")
+        );
     } else {
         println!("{}", r.table1_row());
         println!("{}", r.summary.report(&which));

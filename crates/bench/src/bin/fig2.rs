@@ -14,7 +14,10 @@ fn main() {
     let fig = figures::fig2(&r);
     cli.emit(&fig);
     println!();
-    print!("{}", essio::figures::render_size_histogram(&r.summary.sizes, 50));
+    print!(
+        "{}",
+        essio::figures::render_size_histogram(&r.summary.sizes, 50)
+    );
     println!("{}", r.summary.sizes.report());
     println!("{}", r.table1_row());
 }

@@ -22,7 +22,11 @@ fn main() {
     print!("{}", phases::narrate(&segs));
     let bins = series::binned(&node, 5.0, r.duration_s());
     if let Some(peak) = series::peak_bytes_bin(&bins) {
-        println!("read spike: bin at {:.0}s moves {} KB (paper: ~50s, ~16KB requests)", peak.t0, peak.bytes / 1024);
+        println!(
+            "read spike: bin at {:.0}s moves {} KB (paper: ~50s, ~16KB requests)",
+            peak.t0,
+            peak.bytes / 1024
+        );
     }
     if let Some(lull) = phases::longest_of(&segs, phases::PhaseKind::Quiet) {
         println!("computation lull: {:.0}s..{:.0}s", lull.start_s, lull.end_s);

@@ -19,7 +19,10 @@ fn main() {
         "over-16KB transfers: {} (paper: 16-32 KB range under combined load)",
         r.summary.sizes.count(SizeClass::Over16K)
     );
-    print!("{}", essio::figures::render_size_histogram(&r.summary.sizes, 50));
+    print!(
+        "{}",
+        essio::figures::render_size_histogram(&r.summary.sizes, 50)
+    );
     println!("{}", r.summary.sizes.report());
     println!("{}", r.table1_row());
 }

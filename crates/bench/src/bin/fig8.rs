@@ -13,10 +13,16 @@ fn main() {
     let temporal = figures::fig8(&r);
     print!("{}", temporal.report());
     if let Some(h) = temporal.hottest() {
-        println!("hottest sector: {} at {:.3}/s (paper: ~45,000)", h.sector, h.freq_per_sec);
+        println!(
+            "hottest sector: {} at {:.3}/s (paper: ~45,000)",
+            h.sector, h.freq_per_sec
+        );
     }
     if let Some(h) = temporal.hottest_in(300_000, 400_000) {
-        println!("hottest swap sector: {} (paper: just under 400,000)", h.sector);
+        println!(
+            "hottest swap sector: {} (paper: just under 400,000)",
+            h.sector
+        );
     }
     if cli.tsv {
         println!("sector\taccesses\tfreq_per_s");

@@ -46,7 +46,10 @@ fn main() {
     print!("{}", temporal.report());
     let mut tsv = String::from("sector\taccesses\tfreq_per_s\n");
     for h in &temporal.hot_spots {
-        tsv.push_str(&format!("{}\t{}\t{:.4}\n", h.sector, h.accesses, h.freq_per_sec));
+        tsv.push_str(&format!(
+            "{}\t{}\t{:.4}\n",
+            h.sector, h.accesses, h.freq_per_sec
+        ));
     }
     fs::write(out_dir.join("fig8.tsv"), tsv).expect("write fig8");
 

@@ -66,7 +66,11 @@ impl Cli {
     /// Run and time an experiment, reporting to stderr.
     pub fn run(&self, kind: ExperimentKind) -> ExperimentResult {
         let label = kind.name();
-        let scale = if self.full { "full (16-node)" } else { "quick (2-node)" };
+        let scale = if self.full {
+            "full (16-node)"
+        } else {
+            "quick (2-node)"
+        };
         eprintln!("running {label} experiment at {scale} scale...");
         let t0 = std::time::Instant::now();
         let r = self.experiment(kind).run();
@@ -100,13 +104,46 @@ pub fn synthetic_trace(n: usize) -> Vec<essio_trace::TraceRecord> {
             t += rng.below(200_000);
             let class = rng.below(10);
             let (sector, nsectors, op, origin) = match class {
-                0..=4 => (45_000 + rng.below(2_000) as u32, 2u16, Op::Write, Origin::Log),
-                5..=6 => (399_000 - rng.below(50_000) as u32, 8, Op::Write, Origin::SwapOut),
-                7 => (399_000 - rng.below(50_000) as u32, 8, Op::Read, Origin::SwapIn),
-                8 => (60_000 + rng.below(200_000) as u32, 32, Op::Read, Origin::FileData),
-                _ => (940_000 + rng.below(10_000) as u32, 2, Op::Write, Origin::TraceDump),
+                0..=4 => (
+                    45_000 + rng.below(2_000) as u32,
+                    2u16,
+                    Op::Write,
+                    Origin::Log,
+                ),
+                5..=6 => (
+                    399_000 - rng.below(50_000) as u32,
+                    8,
+                    Op::Write,
+                    Origin::SwapOut,
+                ),
+                7 => (
+                    399_000 - rng.below(50_000) as u32,
+                    8,
+                    Op::Read,
+                    Origin::SwapIn,
+                ),
+                8 => (
+                    60_000 + rng.below(200_000) as u32,
+                    32,
+                    Op::Read,
+                    Origin::FileData,
+                ),
+                _ => (
+                    940_000 + rng.below(10_000) as u32,
+                    2,
+                    Op::Write,
+                    Origin::TraceDump,
+                ),
             };
-            TraceRecord { ts: t, sector, nsectors, pending: rng.below(8) as u16, node: rng.below(16) as u8, op, origin }
+            TraceRecord {
+                ts: t,
+                sector,
+                nsectors,
+                pending: rng.below(8) as u16,
+                node: rng.below(16) as u8,
+                op,
+                origin,
+            }
         })
         .collect()
 }

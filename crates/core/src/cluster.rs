@@ -20,7 +20,7 @@ use essio_apps::{AppCall, AppReply};
 use essio_kernel::{Kernel, KernelConfig, Pid, Placement};
 use essio_net::{BarrierOutcome, Ethernet, Message, NetConfig, NetOp, NetResult, Pvm, TaskId};
 use essio_sim::{Engine, ProcConfig, ProcMsg, ProcessHost, SimTime};
-use essio_trace::{InstrumentationLevel, TraceRecord};
+use essio_trace::{InstrumentationLevel, RecordSink, TraceRecord};
 
 use essio_kernel::daemons::DaemonKind;
 use essio_kernel::kernel::{Outcome, TouchOutcome, WakeKind};
@@ -156,6 +156,8 @@ pub struct Beowulf {
     names: HashMap<(u8, Pid), String>,
     live: usize,
     trace: Vec<TraceRecord>,
+    tap: Option<Box<dyn RecordSink>>,
+    keep_trace: bool,
     exits: Vec<ProcExit>,
     booted: bool,
 }
@@ -200,9 +202,27 @@ impl Beowulf {
             names: HashMap::new(),
             live: 0,
             trace: Vec::new(),
+            tap: None,
+            keep_trace: true,
             exits: Vec::new(),
             booted: false,
         }
+    }
+
+    /// Install a live trace tap: every record drained from the kernel rings
+    /// is pushed into `sink` as it arrives (streaming analytics hook). The
+    /// raw trace is still collected for [`Beowulf::take_trace`] unless
+    /// [`Beowulf::set_keep_trace`]`(false)` is also called.
+    pub fn set_tap(&mut self, sink: Box<dyn RecordSink>) {
+        self.tap = Some(sink);
+    }
+
+    /// Whether drained records are also accumulated in the host-side trace
+    /// vector (default `true`). Turning this off with a tap installed gives
+    /// bounded-memory runs: records live only in the kernel rings and the
+    /// tap's incremental state.
+    pub fn set_keep_trace(&mut self, keep: bool) {
+        self.keep_trace = keep;
     }
 
     /// Number of nodes.
@@ -223,7 +243,9 @@ impl Beowulf {
 
     /// Pre-load a file on one node's disk.
     pub fn install_file(&mut self, node: u8, path: &str, placement: Placement, content: &[u8]) {
-        self.nodes[node as usize].kernel.install_file(path, placement, content);
+        self.nodes[node as usize]
+            .kernel
+            .install_file(path, placement, content);
     }
 
     /// Pre-load a file on every node's disk.
@@ -251,7 +273,14 @@ impl Beowulf {
         self.loc_of.insert(task, (node, pid));
         self.names.insert((node, pid), name.to_string());
         self.live += 1;
-        self.engine.schedule_at(start.max(self.engine.now()), Event::Resume { node, pid, reply: None });
+        self.engine.schedule_at(
+            start.max(self.engine.now()),
+            Event::Resume {
+                node,
+                pid,
+                reply: None,
+            },
+        );
         task
     }
 
@@ -302,7 +331,12 @@ impl Beowulf {
                 .expect("daemon timers keep the queue non-empty while apps live");
             self.handle(now, ev);
         }
-        let last_exit = self.exits.iter().map(|e| e.at).max().unwrap_or(self.engine.now());
+        let last_exit = self
+            .exits
+            .iter()
+            .map(|e| e.at)
+            .max()
+            .unwrap_or(self.engine.now());
         self.run_until(last_exit + settle_us);
         last_exit
     }
@@ -340,18 +374,38 @@ impl Beowulf {
 
     fn drain_traces(&mut self) {
         for n in self.nodes.iter_mut() {
-            self.trace.extend(n.kernel.drain_trace());
+            match (&mut self.tap, self.keep_trace) {
+                (Some(tap), true) => {
+                    let mut tee = essio_trace::sink::Tee(tap.as_mut(), &mut self.trace);
+                    n.kernel.drain_trace_into(&mut tee);
+                }
+                (Some(tap), false) => {
+                    n.kernel.drain_trace_into(tap.as_mut());
+                }
+                (None, _) => {
+                    n.kernel.drain_trace_into(&mut self.trace);
+                }
+            }
         }
     }
 
     /// Schedule the end of a compute burst under processor sharing: the
     /// burst stretches by the number of concurrently computing processes.
-    fn schedule_compute(&mut self, now: SimTime, node: u8, pid: Pid, lead_us: SimTime, micros: u64) {
+    fn schedule_compute(
+        &mut self,
+        now: SimTime,
+        node: u8,
+        pid: Pid,
+        lead_us: SimTime,
+        micros: u64,
+    ) {
         let ns = &mut self.nodes[node as usize];
         ns.computing += 1;
         let factor = ns.computing as u64;
-        self.engine
-            .schedule_at(now + lead_us + micros * factor, Event::ComputeDone { node, pid });
+        self.engine.schedule_at(
+            now + lead_us + micros * factor,
+            Event::ComputeDone { node, pid },
+        );
     }
 
     fn schedule_disk(&mut self, node: u8, deadline: Option<SimTime>) {
@@ -364,7 +418,8 @@ impl Beowulf {
         match ev {
             Event::DrainTraces => {
                 self.drain_traces();
-                self.engine.schedule_in(self.cfg.drain_every_us, Event::DrainTraces);
+                self.engine
+                    .schedule_in(self.cfg.drain_every_us, Event::DrainTraces);
             }
             Event::Daemon { node, kind } => {
                 let (disk, next) = self.nodes[node as usize].kernel.daemon_tick(now, kind);
@@ -391,7 +446,11 @@ impl Beowulf {
                     if let Some(&(node, pid)) = self.loc_of.get(&task) {
                         self.engine.schedule_in(
                             NET_RECV_US,
-                            Event::Resume { node, pid, reply: Some(AppReply::Net(NetResult::Message(msg))) },
+                            Event::Resume {
+                                node,
+                                pid,
+                                reply: Some(AppReply::Net(NetResult::Message(msg))),
+                            },
                         );
                     }
                 }
@@ -404,7 +463,11 @@ impl Beowulf {
             WakeKind::Syscall(result) => {
                 self.engine.schedule_at(
                     now,
-                    Event::Resume { node, pid, reply: Some(AppReply::Sys(result)) },
+                    Event::Resume {
+                        node,
+                        pid,
+                        reply: Some(AppReply::Sys(result)),
+                    },
                 );
             }
             WakeKind::TouchDone { cpu_us } => {
@@ -479,7 +542,11 @@ impl Beowulf {
                     Outcome::Done { result, cpu_us } => {
                         self.engine.schedule_at(
                             now + cpu_us,
-                            Event::Resume { node, pid, reply: Some(AppReply::Sys(result)) },
+                            Event::Resume {
+                                node,
+                                pid,
+                                reply: Some(AppReply::Sys(result)),
+                            },
                         );
                     }
                     Outcome::Blocked => { /* kernel wakes it via Disk events */ }
@@ -490,22 +557,38 @@ impl Beowulf {
     }
 
     fn dispatch_net(&mut self, now: SimTime, node: u8, pid: Pid, op: NetOp) {
-        let task = *self.task_of.get(&(node, pid)).expect("spawned via Beowulf::spawn");
+        let task = *self
+            .task_of
+            .get(&(node, pid))
+            .expect("spawned via Beowulf::spawn");
         match op {
             NetOp::Send { to, tag, data } => {
-                let msg = Message { from: task, to, tag, data };
+                let msg = Message {
+                    from: task,
+                    to,
+                    tag,
+                    data,
+                };
                 let delivery = self.pvm.send(now, &msg);
                 self.engine.schedule_at(delivery, Event::NetDeliver(msg));
                 self.engine.schedule_at(
                     now + NET_SEND_US,
-                    Event::Resume { node, pid, reply: Some(AppReply::Net(NetResult::Sent)) },
+                    Event::Resume {
+                        node,
+                        pid,
+                        reply: Some(AppReply::Net(NetResult::Sent)),
+                    },
                 );
             }
             NetOp::Recv { from, tag } => {
                 if let Some(msg) = self.pvm.recv(task, from, tag) {
                     self.engine.schedule_at(
                         now + NET_RECV_US,
-                        Event::Resume { node, pid, reply: Some(AppReply::Net(NetResult::Message(msg))) },
+                        Event::Resume {
+                            node,
+                            pid,
+                            reply: Some(AppReply::Net(NetResult::Message(msg))),
+                        },
                     );
                 }
                 // Otherwise the PVM layer holds the wait; a NetDeliver
@@ -516,7 +599,11 @@ impl Beowulf {
                 BarrierOutcome::Release(others) => {
                     self.engine.schedule_at(
                         now + NET_RECV_US,
-                        Event::Resume { node, pid, reply: Some(AppReply::Net(NetResult::BarrierDone)) },
+                        Event::Resume {
+                            node,
+                            pid,
+                            reply: Some(AppReply::Net(NetResult::BarrierDone)),
+                        },
                     );
                     for t in others {
                         if let Some(&(onode, opid)) = self.loc_of.get(&t) {
@@ -538,14 +625,26 @@ impl Beowulf {
 
     fn finish_proc(&mut self, now: SimTime, node: u8, pid: Pid, code: i32) {
         let name = self.names.get(&(node, pid)).cloned().unwrap_or_default();
-        self.exits.push(ProcExit { node, pid, name, code, at: now });
+        self.exits.push(ProcExit {
+            node,
+            pid,
+            name,
+            code,
+            at: now,
+        });
         self.teardown(node, pid);
     }
 
     fn kill_proc(&mut self, now: SimTime, node: u8, pid: Pid, reason: &'static str) {
         let name = self.names.get(&(node, pid)).cloned().unwrap_or_default();
         let name = format!("{name} ({reason})");
-        self.exits.push(ProcExit { node, pid, name, code: 139, at: now });
+        self.exits.push(ProcExit {
+            node,
+            pid,
+            name,
+            code: 139,
+            at: now,
+        });
         self.teardown(node, pid);
     }
 
@@ -570,7 +669,11 @@ mod tests {
     use essio_kernel::Syscall;
 
     fn small_cluster(nodes: u8) -> Beowulf {
-        let cfg = BeowulfConfig { nodes, drain_every_us: 1_000_000, ..Default::default() };
+        let cfg = BeowulfConfig {
+            nodes,
+            drain_every_us: 1_000_000,
+            ..Default::default()
+        };
         Beowulf::new(cfg)
     }
 
@@ -605,8 +708,14 @@ mod tests {
         assert_eq!(bw.exits().len(), 1);
         assert_eq!(bw.exits()[0].code, 0, "{:?}", bw.exits());
         let trace = bw.take_trace();
-        assert!(trace.iter().any(|r| r.op == essio_trace::Op::Read), "input was read");
-        assert!(trace.iter().any(|r| r.op == essio_trace::Op::Write), "output was written");
+        assert!(
+            trace.iter().any(|r| r.op == essio_trace::Op::Read),
+            "input was read"
+        );
+        assert!(
+            trace.iter().any(|r| r.op == essio_trace::Op::Write),
+            "output was written"
+        );
         // The output landed on the simulated FS.
         let ino = bw.kernel(0).fs().lookup("/out").expect("created");
         assert_eq!(bw.kernel(0).fs().inode(ino).unwrap().size, 8192);
@@ -617,18 +726,32 @@ mod tests {
         let mut bw = small_cluster(2);
         // Tasks get ids 1 and 2 in spawn order.
         bw.spawn(0, "sender", 0, |ctx| {
-            match ctx.net(NetOp::Recv { from: None, tag: Some(5) }) {
+            match ctx.net(NetOp::Recv {
+                from: None,
+                tag: Some(5),
+            }) {
                 NetResult::Message(m) => {
                     assert_eq!(m.data, vec![9, 9]);
-                    ctx.net(NetOp::Send { to: m.from, tag: 6, data: vec![1] });
+                    ctx.net(NetOp::Send {
+                        to: m.from,
+                        tag: 6,
+                        data: vec![1],
+                    });
                     0
                 }
                 other => panic!("{other:?}"),
             }
         });
         bw.spawn(1, "replier", 0, |ctx| {
-            ctx.net(NetOp::Send { to: 1, tag: 5, data: vec![9, 9] });
-            match ctx.net(NetOp::Recv { from: Some(1), tag: Some(6) }) {
+            ctx.net(NetOp::Send {
+                to: 1,
+                tag: 5,
+                data: vec![9, 9],
+            });
+            match ctx.net(NetOp::Recv {
+                from: Some(1),
+                tag: Some(6),
+            }) {
                 NetResult::Message(_) => 0,
                 other => panic!("{other:?}"),
             }
@@ -726,6 +849,9 @@ mod tests {
         bw.run_apps(12_000_000);
         assert_eq!(bw.exits()[0].code, 0);
         assert!(bw.take_trace().is_empty(), "no records at level Off");
-        assert!(bw.kernel(0).driver_stats().dispatched > 0, "the disk still worked");
+        assert!(
+            bw.kernel(0).driver_stats().dispatched > 0,
+            "the disk still worked"
+        );
     }
 }

@@ -16,7 +16,8 @@
 use essio_apps::{nbody::NbodyConfig, ppm::PpmConfig, wavelet::WaveletConfig};
 use essio_sim::SimTime;
 use essio_trace::analysis::{RwStats, TraceSummary};
-use essio_trace::TraceRecord;
+use essio_trace::sink::SharedSink;
+use essio_trace::{RecordSink, TraceRecord};
 
 use crate::cluster::{Beowulf, BeowulfConfig, ProcExit};
 use crate::workloads;
@@ -151,7 +152,68 @@ impl Experiment {
 
     /// Run the experiment.
     pub fn run(self) -> ExperimentResult {
+        let kind = self.kind;
+        let (nodes, duration, trace, exits) = self.execute(None);
+        let summary = TraceSummary::compute(&trace, duration, Self::total_sectors());
+        ExperimentResult {
+            kind,
+            nodes,
+            duration,
+            trace,
+            summary,
+            exits,
+        }
+    }
+
+    /// Run the experiment in streaming mode: every trace record is pushed
+    /// into `sink` as it is drained from the kernel rings, and the raw
+    /// trace is *not* accumulated host-side. Peak resident trace memory is
+    /// bounded by the kernel ring capacities, independent of run length.
+    ///
+    /// Returns the run metadata and the sink, now holding whatever
+    /// incremental state it built (e.g. a `StreamSummary` from
+    /// `essio-stream`, which can be finalized against
+    /// `result.duration`).
+    pub fn run_streamed<S>(self, sink: S) -> (StreamedRun, S)
+    where
+        S: RecordSink + 'static,
+    {
+        let kind = self.kind;
+        let shared = SharedSink::new(sink);
+        let tap = Box::new(shared.clone());
+        let (nodes, duration, trace, exits) = self.execute(Some(tap));
+        debug_assert!(trace.is_empty(), "streaming run must not keep the trace");
+        let sink = shared
+            .try_unwrap()
+            .unwrap_or_else(|_| unreachable!("cluster dropped, tap handle released"));
+        (
+            StreamedRun {
+                kind,
+                nodes,
+                duration,
+                exits,
+            },
+            sink,
+        )
+    }
+
+    /// Disk size every experiment runs against.
+    fn total_sectors() -> u32 {
+        essio_disk::DiskGeometry::BEOWULF_500MB.total_sectors()
+    }
+
+    /// Shared run loop behind [`Experiment::run`] and
+    /// [`Experiment::run_streamed`]. With a tap the host-side trace vector
+    /// stays empty and the returned trace is empty too.
+    fn execute(
+        self,
+        tap: Option<Box<dyn RecordSink>>,
+    ) -> (u8, SimTime, Vec<TraceRecord>, Vec<ProcExit>) {
         let mut bw = Beowulf::new(self.cluster.clone());
+        if let Some(tap) = tap {
+            bw.set_tap(tap);
+            bw.set_keep_trace(false);
+        }
         let kind = self.kind;
         if kind != ExperimentKind::Baseline {
             workloads::install_assets(&mut bw, self.cluster.seed);
@@ -187,9 +249,34 @@ impl Experiment {
         let trace = bw.take_trace();
         let nodes = bw.nodes();
         let exits = bw.exits().to_vec();
-        let total_sectors = essio_disk::DiskGeometry::BEOWULF_500MB.total_sectors();
-        let summary = TraceSummary::compute(&trace, duration, total_sectors);
-        ExperimentResult { kind, nodes, duration, trace, summary, exits }
+        (nodes, duration, trace, exits)
+    }
+}
+
+/// Metadata from a streaming run ([`Experiment::run_streamed`]): everything
+/// an [`ExperimentResult`] carries except the trace and its batch summary —
+/// those live in the caller's sink.
+#[derive(Debug)]
+pub struct StreamedRun {
+    /// Which experiment ran.
+    pub kind: ExperimentKind,
+    /// Node count.
+    pub nodes: u8,
+    /// Observation window / run length, µs.
+    pub duration: SimTime,
+    /// Process exits (empty for the baseline).
+    pub exits: Vec<ProcExit>,
+}
+
+impl StreamedRun {
+    /// Run duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.duration as f64 / 1e6
+    }
+
+    /// Did every process finish cleanly?
+    pub fn all_clean(&self) -> bool {
+        self.exits.iter().all(|e| e.code == 0)
     }
 }
 
@@ -213,7 +300,11 @@ pub struct ExperimentResult {
 impl ExperimentResult {
     /// The records from one node's disk (figures plot a single disk).
     pub fn node_trace(&self, node: u8) -> Vec<TraceRecord> {
-        self.trace.iter().filter(|r| r.node == node).copied().collect()
+        self.trace
+            .iter()
+            .filter(|r| r.node == node)
+            .copied()
+            .collect()
     }
 
     /// Per-disk-average read/write statistics — what Table 1 reports
@@ -294,7 +385,11 @@ mod tests {
         );
         // Paging produced 4 KB traffic.
         use essio_trace::analysis::SizeClass;
-        assert!(r.summary.sizes.count(SizeClass::Page4K) > 10, "{:?}", r.summary.sizes.by_class);
+        assert!(
+            r.summary.sizes.count(SizeClass::Page4K) > 10,
+            "{:?}",
+            r.summary.sizes.by_class
+        );
         // And streaming reads grew beyond 4 KB.
         let big_reads = r
             .trace
@@ -311,7 +406,10 @@ mod tests {
         // 3 apps × 2 nodes.
         assert_eq!(r.exits.len(), 6);
         // Combined load exceeds any single app's.
-        assert!(r.summary.rw.total > 100, "combined produces substantial I/O");
+        assert!(
+            r.summary.rw.total > 100,
+            "combined produces substantial I/O"
+        );
     }
 
     #[test]

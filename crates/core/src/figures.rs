@@ -127,11 +127,19 @@ fn sector_scatter(r: &ExperimentResult, title: &str) -> Scatter {
 
 /// Render a request-size class distribution as an ASCII bar chart
 /// (log-scaled bars so the 1 KB class doesn't drown the 16 KB tail).
-pub fn render_size_histogram(breakdown: &essio_trace::analysis::ClassBreakdown, width: usize) -> String {
+pub fn render_size_histogram(
+    breakdown: &essio_trace::analysis::ClassBreakdown,
+    width: usize,
+) -> String {
     use std::fmt::Write as _;
     let width = width.max(10);
     let mut out = String::from("request-size distribution:\n");
-    let max = breakdown.by_class.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    let max = breakdown
+        .by_class
+        .iter()
+        .map(|(_, n)| *n)
+        .max()
+        .unwrap_or(0);
     if max == 0 {
         out.push_str("  (no requests)\n");
         return out;
@@ -149,14 +157,27 @@ pub fn render_size_histogram(breakdown: &essio_trace::analysis::ClassBreakdown, 
         if *n == 0 {
             continue;
         }
-        let _ = writeln!(out, "  {:>9} |{:<width$}| {}", class.label(), "#".repeat(scale(*n)), n, width = width);
+        let _ = writeln!(
+            out,
+            "  {:>9} |{:<width$}| {}",
+            class.label(),
+            "#".repeat(scale(*n)),
+            n,
+            width = width
+        );
     }
     out
 }
 
 /// Render a scatter as an ASCII plot (dots; `*` where several points
 /// overlap).
-pub fn ascii_scatter(title: &str, ylabel: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
+pub fn ascii_scatter(
+    title: &str,
+    ylabel: &str,
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+) -> String {
     let width = width.max(16);
     let height = height.max(6);
     let mut out = String::with_capacity((width + 12) * (height + 4));
@@ -218,7 +239,11 @@ mod tests {
 
     #[test]
     fn figure1_baseline_shape() {
-        let r = Experiment::baseline().quick().duration_secs(180).seed(11).run();
+        let r = Experiment::baseline()
+            .quick()
+            .duration_secs(180)
+            .seed(11)
+            .run();
         let f = fig1(&r);
         assert!(!f.points.is_empty());
         // All activity is writes at known regions: log area, metadata, or
@@ -240,7 +265,10 @@ mod tests {
         let r = Experiment::wavelet().quick().seed(12).run();
         let f = fig3(&r);
         let max_kb = f.points.iter().map(|p| p.1).fold(0.0, f64::max);
-        assert!(max_kb >= 8.0, "streaming reads should reach ≥8 KB, got {max_kb}");
+        assert!(
+            max_kb >= 8.0,
+            "streaming reads should reach ≥8 KB, got {max_kb}"
+        );
         // 4 KB paging present.
         assert!(f.points.iter().any(|p| (p.1 - 4.0).abs() < 1e-9));
     }
@@ -271,7 +299,11 @@ mod tests {
         assert!(!chart.contains(">16K"), "empty classes omitted");
         // Log scaling keeps the minority class visible (bar length > 25% of
         // the majority's despite a 100x count ratio).
-        let bars: Vec<usize> = chart.lines().skip(1).map(|l| l.matches('#').count()).collect();
+        let bars: Vec<usize> = chart
+            .lines()
+            .skip(1)
+            .map(|l| l.matches('#').count())
+            .collect();
         assert!(bars[1] * 4 > bars[0], "bars {bars:?}");
         // Empty input.
         let empty = render_size_histogram(&ClassBreakdown::compute(&[]), 40);
@@ -288,7 +320,11 @@ mod tests {
 
     #[test]
     fn table1_renders_rows_for_each_experiment() {
-        let base = Experiment::baseline().quick().duration_secs(60).seed(13).run();
+        let base = Experiment::baseline()
+            .quick()
+            .duration_secs(60)
+            .seed(13)
+            .run();
         let nb = Experiment::nbody().quick().seed(13).run();
         let t = table1(&[&base, &nb]);
         assert!(t.contains("Baseline"));

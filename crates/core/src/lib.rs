@@ -44,7 +44,7 @@ pub mod workloads;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::cluster::{Beowulf, BeowulfConfig};
-    pub use crate::experiment::{Experiment, ExperimentKind, ExperimentResult};
+    pub use crate::experiment::{Experiment, ExperimentKind, ExperimentResult, StreamedRun};
     pub use crate::figures;
     pub use crate::model::WorkloadModel;
     pub use essio_trace::analysis::TraceSummary;

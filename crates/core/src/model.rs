@@ -75,14 +75,22 @@ impl WorkloadModel {
         let mut nodes: std::collections::BTreeSet<u8> = Default::default();
         for r in records {
             *size_counts.entry(r.nsectors).or_insert(0) += 1;
-            *band_counts.entry(r.sector / MODEL_BAND_SECTORS * MODEL_BAND_SECTORS).or_insert(0) += 1;
+            *band_counts
+                .entry(r.sector / MODEL_BAND_SECTORS * MODEL_BAND_SECTORS)
+                .or_insert(0) += 1;
             nodes.insert(r.node);
         }
         WorkloadModel {
             rate_per_s: n / duration_s,
             read_fraction: reads / n,
-            size_mix: size_counts.into_iter().map(|(s, c)| (s, c as f64 / n)).collect(),
-            band_mix: band_counts.into_iter().map(|(b, c)| (b, c as f64 / n)).collect(),
+            size_mix: size_counts
+                .into_iter()
+                .map(|(s, c)| (s, c as f64 / n))
+                .collect(),
+            band_mix: band_counts
+                .into_iter()
+                .map(|(b, c)| (b, c as f64 / n))
+                .collect(),
             nodes: nodes.len() as u8,
         }
     }
@@ -101,7 +109,11 @@ impl WorkloadModel {
             let nsectors = sample(&self.size_mix, &mut rng);
             let band = sample(&self.band_mix, &mut rng);
             let sector = band + rng.below(MODEL_BAND_SECTORS as u64) as u32;
-            let op = if rng.chance(self.read_fraction) { Op::Read } else { Op::Write };
+            let op = if rng.chance(self.read_fraction) {
+                Op::Read
+            } else {
+                Op::Write
+            };
             out.push(TraceRecord {
                 ts: (t * 1e6) as u64,
                 sector,
@@ -121,8 +133,16 @@ impl WorkloadModel {
         Validation {
             size_chi2: chi2(&self.size_mix, &other.size_mix, reference.len() as f64),
             band_chi2: chi2(
-                &self.band_mix.iter().map(|(b, p)| (*b as u16, *p)).collect::<Vec<_>>(),
-                &other.band_mix.iter().map(|(b, p)| (*b as u16, *p)).collect::<Vec<_>>(),
+                &self
+                    .band_mix
+                    .iter()
+                    .map(|(b, p)| (*b as u16, *p))
+                    .collect::<Vec<_>>(),
+                &other
+                    .band_mix
+                    .iter()
+                    .map(|(b, p)| (*b as u16, *p))
+                    .collect::<Vec<_>>(),
                 reference.len() as f64,
             ),
             rate_rel_err: (self.rate_per_s - other.rate_per_s).abs() / self.rate_per_s.max(1e-9),

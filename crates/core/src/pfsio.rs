@@ -77,16 +77,27 @@ pub fn spawn_service(bw: &mut Beowulf) -> Service {
 /// Tell the whole service to exit (call from exactly one client when done).
 pub fn shutdown(ctx: &mut AppCtx, svc: &Service) {
     for &s in &svc.servers {
-        ctx.net(NetOp::Send { to: s, tag: TAG_DOWN, data: Vec::new() });
+        ctx.net(NetOp::Send {
+            to: s,
+            tag: TAG_DOWN,
+            data: Vec::new(),
+        });
     }
-    ctx.net(NetOp::Send { to: svc.coord, tag: TAG_DOWN, data: Vec::new() });
+    ctx.net(NetOp::Send {
+        to: svc.coord,
+        tag: TAG_DOWN,
+        data: Vec::new(),
+    });
 }
 
 /// Data server main loop: serve segment reads/writes until shutdown.
 fn server_body(ctx: &mut AppCtx) -> i32 {
     let mut files: std::collections::HashMap<String, SimFile> = Default::default();
     loop {
-        let msg = match ctx.net(NetOp::Recv { from: None, tag: None }) {
+        let msg = match ctx.net(NetOp::Recv {
+            from: None,
+            tag: None,
+        }) {
             NetResult::Message(m) => m,
             other => panic!("server recv: {other:?}"),
         };
@@ -119,7 +130,11 @@ fn server_body(ctx: &mut AppCtx) -> i32 {
                     other => panic!("bad pfs op {other}"),
                 }
                 ctx.compute(150); // request parsing + reply marshalling
-                ctx.net(NetOp::Send { to: msg.from, tag: TAG_RESP, data: resp });
+                ctx.net(NetOp::Send {
+                    to: msg.from,
+                    tag: TAG_RESP,
+                    data: resp,
+                });
             }
             other => panic!("server got unexpected tag {other}"),
         }
@@ -131,7 +146,10 @@ fn coordinator_body(ctx: &mut AppCtx) -> i32 {
     let mut coord = Coordinator::new();
     let mut task_of_op: std::collections::HashMap<u64, TaskId> = Default::default();
     loop {
-        let msg = match ctx.net(NetOp::Recv { from: None, tag: None }) {
+        let msg = match ctx.net(NetOp::Recv {
+            from: None,
+            tag: None,
+        }) {
             NetResult::Message(m) => m,
             other => panic!("coordinator recv: {other:?}"),
         };
@@ -146,14 +164,22 @@ fn coordinator_body(ctx: &mut AppCtx) -> i32 {
                     COORD_BEGIN => {
                         task_of_op.insert(op_id, msg.from);
                         if coord.begin(&file, op_id) == Admission::Admitted {
-                            ctx.net(NetOp::Send { to: msg.from, tag: TAG_GRANT, data: Vec::new() });
+                            ctx.net(NetOp::Send {
+                                to: msg.from,
+                                tag: TAG_GRANT,
+                                data: Vec::new(),
+                            });
                         }
                     }
                     COORD_END => {
                         task_of_op.remove(&op_id);
                         if let Some(next) = coord.finish(&file, op_id) {
                             let to = *task_of_op.get(&next).expect("queued op registered");
-                            ctx.net(NetOp::Send { to, tag: TAG_GRANT, data: Vec::new() });
+                            ctx.net(NetOp::Send {
+                                to,
+                                tag: TAG_GRANT,
+                                data: Vec::new(),
+                            });
                         }
                     }
                     other => panic!("bad coord verb {other}"),
@@ -181,10 +207,18 @@ impl ParaFile {
     /// spawn time).
     pub fn open(name: &str, spec: StripeSpec, svc: &Service, my_task: TaskId) -> ParaFile {
         assert!(
-            spec.servers.iter().all(|s| (*s as usize) < svc.servers.len()),
+            spec.servers
+                .iter()
+                .all(|s| (*s as usize) < svc.servers.len()),
             "stripe references a server outside the service"
         );
-        ParaFile { name: name.to_string(), spec, svc: svc.clone(), my_task, op_seq: 0 }
+        ParaFile {
+            name: name.to_string(),
+            spec,
+            svc: svc.clone(),
+            my_task,
+            op_seq: 0,
+        }
     }
 
     fn begin(&mut self, ctx: &mut AppCtx) -> u64 {
@@ -193,8 +227,15 @@ impl ParaFile {
         let mut data = vec![COORD_BEGIN];
         data.extend_from_slice(&op_id.to_le_bytes());
         put_str(&mut data, &self.name);
-        ctx.net(NetOp::Send { to: self.svc.coord, tag: TAG_COORD, data });
-        match ctx.net(NetOp::Recv { from: Some(self.svc.coord), tag: Some(TAG_GRANT) }) {
+        ctx.net(NetOp::Send {
+            to: self.svc.coord,
+            tag: TAG_COORD,
+            data,
+        });
+        match ctx.net(NetOp::Recv {
+            from: Some(self.svc.coord),
+            tag: Some(TAG_GRANT),
+        }) {
             NetResult::Message(_) => op_id,
             other => panic!("grant: {other:?}"),
         }
@@ -204,7 +245,11 @@ impl ParaFile {
         let mut data = vec![COORD_END];
         data.extend_from_slice(&op_id.to_le_bytes());
         put_str(&mut data, &self.name);
-        ctx.net(NetOp::Send { to: self.svc.coord, tag: TAG_COORD, data });
+        ctx.net(NetOp::Send {
+            to: self.svc.coord,
+            tag: TAG_COORD,
+            data,
+        });
     }
 
     /// Coordinated write of `data` at parafile offset `offset`.
@@ -219,7 +264,11 @@ impl ParaFile {
             req.extend_from_slice(&seg.offset.to_le_bytes());
             req.extend_from_slice(&data[consumed..consumed + seg.len as usize]);
             consumed += seg.len as usize;
-            ctx.net(NetOp::Send { to: self.svc.servers[seg.server as usize], tag: TAG_REQ, data: req });
+            ctx.net(NetOp::Send {
+                to: self.svc.servers[seg.server as usize],
+                tag: TAG_REQ,
+                data: req,
+            });
         }
         for seg in &plan {
             match ctx.net(NetOp::Recv {
@@ -242,7 +291,11 @@ impl ParaFile {
             put_str(&mut req, &segment_path(&self.name, seg.server));
             req.extend_from_slice(&seg.offset.to_le_bytes());
             req.extend_from_slice(&seg.len.to_le_bytes());
-            ctx.net(NetOp::Send { to: self.svc.servers[seg.server as usize], tag: TAG_REQ, data: req });
+            ctx.net(NetOp::Send {
+                to: self.svc.servers[seg.server as usize],
+                tag: TAG_REQ,
+                data: req,
+            });
         }
         let mut out = Vec::with_capacity(len as usize);
         for seg in &plan {
@@ -267,7 +320,10 @@ mod tests {
 
     #[test]
     fn parafile_roundtrip_stripes_over_both_disks() {
-        let mut bw = Beowulf::new(BeowulfConfig { nodes: 2, ..Default::default() });
+        let mut bw = Beowulf::new(BeowulfConfig {
+            nodes: 2,
+            ..Default::default()
+        });
         let svc = spawn_service(&mut bw);
         let my_task = bw.next_task();
         let svc2 = svc.clone();
@@ -288,14 +344,21 @@ mod tests {
         assert!(bw.exits().iter().all(|e| e.code == 0), "{:?}", bw.exits());
         let trace = bw.take_trace();
         // The striped write landed on BOTH node disks.
-        let n0 = trace.iter().any(|r| r.node == 0 && r.op == Op::Write && (60_000..940_000).contains(&r.sector));
-        let n1 = trace.iter().any(|r| r.node == 1 && r.op == Op::Write && (60_000..940_000).contains(&r.sector));
+        let n0 = trace
+            .iter()
+            .any(|r| r.node == 0 && r.op == Op::Write && (60_000..940_000).contains(&r.sector));
+        let n1 = trace
+            .iter()
+            .any(|r| r.node == 1 && r.op == Op::Write && (60_000..940_000).contains(&r.sector));
         assert!(n0 && n1, "declustering must hit both disks");
     }
 
     #[test]
     fn coordinator_serializes_two_clients_on_one_parafile() {
-        let mut bw = Beowulf::new(BeowulfConfig { nodes: 2, ..Default::default() });
+        let mut bw = Beowulf::new(BeowulfConfig {
+            nodes: 2,
+            ..Default::default()
+        });
         let svc = spawn_service(&mut bw);
         // Two clients hammer the same parafile; sequential consistency
         // means each read observes a complete write (all-old or all-new),

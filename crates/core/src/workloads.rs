@@ -39,7 +39,9 @@ pub const NBODY_TEXT: (&str, u32) = ("/bin/nbody", 128 * 1024);
 pub fn synthetic_landsat(side: usize, seed: u64) -> Vec<u8> {
     let mut rng = SimRng::new(seed);
     // Random phases make the terrain seed-dependent but deterministic.
-    let ph: Vec<f64> = (0..6).map(|_| rng.range_f64(0.0, std::f64::consts::TAU)).collect();
+    let ph: Vec<f64> = (0..6)
+        .map(|_| rng.range_f64(0.0, std::f64::consts::TAU))
+        .collect();
     let mut out = Vec::with_capacity(side * side);
     for y in 0..side {
         for x in 0..side {

@@ -19,7 +19,7 @@
 //! is queued, the next deadline.
 
 use essio_sim::SimTime;
-use essio_trace::{InstrumentationLevel, Op, Origin, TraceBuffer, TraceRecord};
+use essio_trace::{InstrumentationLevel, Op, Origin, RecordSink, TraceBuffer, TraceRecord};
 
 use crate::sched::{QueuedRequest, RequestQueue, SchedPolicy};
 use crate::timing::TimingModel;
@@ -151,6 +151,14 @@ impl IdeDriver {
         self.trace.drain(max)
     }
 
+    /// Stream up to `max` trace records into `sink` — the live tap used by
+    /// online analytics. Same FIFO drain as [`IdeDriver::drain_trace`], but
+    /// records go straight from the kernel ring into the sink with no
+    /// intermediate `Vec`.
+    pub fn drain_trace_into(&mut self, max: usize, mut sink: &mut dyn RecordSink) -> usize {
+        self.trace.drain_into(max, &mut sink)
+    }
+
     /// Records currently buffered in the trace ring.
     pub fn trace_len(&self) -> usize {
         self.trace.len()
@@ -188,7 +196,10 @@ impl IdeDriver {
     /// be the deadline previously returned). Returns the completion and, if
     /// another request was dispatched, its deadline.
     pub fn on_complete(&mut self, now: SimTime) -> (Completion, Option<SimTime>) {
-        let done = self.in_flight.take().expect("on_complete without an in-flight request");
+        let done = self
+            .in_flight
+            .take()
+            .expect("on_complete without an in-flight request");
         self.head_pos = done.end();
         match done.op {
             Op::Read => self.stats.read_sectors += done.nsectors as u64,
@@ -210,9 +221,9 @@ impl IdeDriver {
     /// Send a physical request to the drive; **this is the instrumented
     /// read/write handler** — the trace entry is generated here.
     fn dispatch(&mut self, now: SimTime, req: QueuedRequest) -> SimTime {
-        let service = self
-            .timing
-            .service_us(self.head_pos, req.sector, req.nsectors, self.commands);
+        let service =
+            self.timing
+                .service_us(self.head_pos, req.sector, req.nsectors, self.commands);
         if self.timing.is_faulted(self.commands) {
             self.stats.faults += 1;
         }
@@ -238,19 +249,31 @@ mod tests {
     use super::*;
 
     fn driver() -> IdeDriver {
-        let mut d = IdeDriver::new(0, TimingModel::beowulf_ide(), SchedPolicy::Elevator, 1 << 16);
+        let mut d = IdeDriver::new(
+            0,
+            TimingModel::beowulf_ide(),
+            SchedPolicy::Elevator,
+            1 << 16,
+        );
         d.set_instrumentation(InstrumentationLevel::Full);
         d
     }
 
     fn breq(token: u64, sector: u32, nsectors: u16, op: Op) -> BlockRequest {
-        BlockRequest { sector, nsectors, op, origin: Origin::FileData, token }
+        BlockRequest {
+            sector,
+            nsectors,
+            op,
+            origin: Origin::FileData,
+            token,
+        }
     }
 
     #[test]
     fn idle_submit_dispatches_immediately() {
         let mut d = driver();
-        let SubmitOutcome::Dispatched { completes_at } = d.submit(1000, breq(1, 100, 2, Op::Read)) else {
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(1000, breq(1, 100, 2, Op::Read))
+        else {
             panic!("expected dispatch")
         };
         assert!(completes_at > 1000);
@@ -264,10 +287,14 @@ mod tests {
     #[test]
     fn busy_submit_queues_then_chains() {
         let mut d = driver();
-        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Read)) else {
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Read))
+        else {
             panic!()
         };
-        assert_eq!(d.submit(10, breq(2, 5000, 2, Op::Read)), SubmitOutcome::Queued);
+        assert_eq!(
+            d.submit(10, breq(2, 5000, 2, Op::Read)),
+            SubmitOutcome::Queued
+        );
         assert_eq!(d.queue_depth(), 1);
         let (c1, next) = d.on_complete(completes_at);
         assert_eq!(c1.tokens, vec![1]);
@@ -280,12 +307,22 @@ mod tests {
     #[test]
     fn contiguous_requests_merge_while_busy() {
         let mut d = driver();
-        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Write)) else {
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Write))
+        else {
             panic!()
         };
-        assert_eq!(d.submit(1, breq(2, 1000, 2, Op::Write)), SubmitOutcome::Queued);
-        assert_eq!(d.submit(2, breq(3, 1002, 2, Op::Write)), SubmitOutcome::Merged);
-        assert_eq!(d.submit(3, breq(4, 1004, 2, Op::Write)), SubmitOutcome::Merged);
+        assert_eq!(
+            d.submit(1, breq(2, 1000, 2, Op::Write)),
+            SubmitOutcome::Queued
+        );
+        assert_eq!(
+            d.submit(2, breq(3, 1002, 2, Op::Write)),
+            SubmitOutcome::Merged
+        );
+        assert_eq!(
+            d.submit(3, breq(4, 1004, 2, Op::Write)),
+            SubmitOutcome::Merged
+        );
         let (_, next) = d.on_complete(completes_at);
         let (c, _) = d.on_complete(next.unwrap());
         assert_eq!(c.tokens, vec![2, 3, 4]);
@@ -295,7 +332,8 @@ mod tests {
     #[test]
     fn trace_records_dispatch_with_pending_count() {
         let mut d = driver();
-        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Write)) else {
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Write))
+        else {
             panic!()
         };
         d.submit(1, breq(2, 5000, 2, Op::Read));
@@ -314,7 +352,8 @@ mod tests {
     fn instrumentation_off_means_no_records() {
         let mut d = driver();
         d.set_instrumentation(InstrumentationLevel::Off);
-        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Write)) else {
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Write))
+        else {
             panic!()
         };
         d.on_complete(completes_at);
@@ -326,7 +365,8 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut d = driver();
-        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 4, Op::Write)) else {
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 4, Op::Write))
+        else {
             panic!()
         };
         d.submit(1, breq(2, 5000, 8, Op::Read));
@@ -347,7 +387,9 @@ mod tests {
         let mut d = IdeDriver::new(0, timing, SchedPolicy::Fifo, 64);
         let mut now = 0;
         for i in 0..4 {
-            let SubmitOutcome::Dispatched { completes_at } = d.submit(now, breq(i, 100, 2, Op::Write)) else {
+            let SubmitOutcome::Dispatched { completes_at } =
+                d.submit(now, breq(i, 100, 2, Op::Write))
+            else {
                 panic!()
             };
             now = completes_at;
@@ -365,7 +407,8 @@ mod tests {
     #[test]
     fn elevator_orders_dispatches_by_sweep() {
         let mut d = driver();
-        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(0, 50_000, 2, Op::Read)) else {
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(0, 50_000, 2, Op::Read))
+        else {
             panic!()
         };
         // Submit out of order while busy; elevator should sweep upward from

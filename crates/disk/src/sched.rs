@@ -68,7 +68,13 @@ impl RequestQueue {
     /// 32 KB, the largest transfer the paper observes, Figure 5).
     pub fn new(policy: SchedPolicy, max_sectors: u16) -> Self {
         assert!(max_sectors > 0);
-        Self { policy, queue: VecDeque::new(), max_sectors, sweep_up: true, merges: 0 }
+        Self {
+            policy,
+            queue: VecDeque::new(),
+            max_sectors,
+            sweep_up: true,
+            merges: 0,
+        }
     }
 
     /// Queue depth (physical requests).
@@ -167,7 +173,13 @@ mod tests {
     use super::*;
 
     fn req(sector: u32, nsectors: u16, op: Op) -> QueuedRequest {
-        QueuedRequest { sector, nsectors, op, origin: Origin::FileData, tokens: vec![sector as u64] }
+        QueuedRequest {
+            sector,
+            nsectors,
+            op,
+            origin: Origin::FileData,
+            tokens: vec![sector as u64],
+        }
     }
 
     #[test]

@@ -60,7 +60,13 @@ impl TimingModel {
     ///
     /// `command_index` is the drive's lifetime command counter, used for
     /// deterministic fault injection.
-    pub fn service_us(&self, head_pos: u32, sector: u32, nsectors: u16, command_index: u64) -> SimTime {
+    pub fn service_us(
+        &self,
+        head_pos: u32,
+        sector: u32,
+        nsectors: u16,
+        command_index: u64,
+    ) -> SimTime {
         let dist = self.geometry.cylinder_distance(head_pos, sector);
         let seek = if dist == 0 {
             0
@@ -92,7 +98,10 @@ mod tests {
         let spc = m.geometry.sectors_per_cylinder();
         let t_same = m.service_us(100, 100, 2, 0);
         let t_far = m.service_us(100, 100 + 500 * spc, 2, 0);
-        assert!(t_far > t_same + 5_000, "long seek must dominate: {t_same} vs {t_far}");
+        assert!(
+            t_far > t_same + 5_000,
+            "long seek must dominate: {t_same} vs {t_far}"
+        );
     }
 
     #[test]
@@ -118,7 +127,10 @@ mod tests {
         let mut m = TimingModel::beowulf_ide();
         m.fault_every = Some(4);
         let faults: Vec<bool> = (0..8).map(|i| m.is_faulted(i)).collect();
-        assert_eq!(faults, vec![false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            faults,
+            vec![false, false, false, true, false, false, false, true]
+        );
         let clean = m.service_us(0, 0, 2, 0);
         let faulted = m.service_us(0, 0, 2, 3);
         assert_eq!(faulted - clean, m.fault_penalty_us);

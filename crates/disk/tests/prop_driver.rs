@@ -1,3 +1,5 @@
+#![cfg(feature = "proptests")]
+
 //! Property tests for the disk subsystem: under arbitrary request streams
 //! the driver must conserve work (every token completes exactly once, every
 //! transferred sector is accounted) and merged requests must stay physically
@@ -33,7 +35,10 @@ fn gen_req() -> impl Strategy<Value = GenReq> {
 }
 
 /// Drive the submit/complete protocol to quiescence, gathering completions.
-fn run_driver(policy: SchedPolicy, reqs: &[GenReq]) -> (IdeDriver, Vec<essio_disk::Completion>, u64) {
+fn run_driver(
+    policy: SchedPolicy,
+    reqs: &[GenReq],
+) -> (IdeDriver, Vec<essio_disk::Completion>, u64) {
     let mut d = IdeDriver::new(3, TimingModel::beowulf_ide(), policy, 1 << 20);
     d.set_instrumentation(InstrumentationLevel::Full);
     let mut now = 0u64;

@@ -143,7 +143,14 @@ impl BufferCache {
             }
         }
         self.tick += 1;
-        self.entries.insert(blk, Entry { dirty, origin, lru: self.tick });
+        self.entries.insert(
+            blk,
+            Entry {
+                dirty,
+                origin,
+                lru: self.tick,
+            },
+        );
         self.lru_index.insert(self.tick, blk);
         writebacks
     }
@@ -248,7 +255,10 @@ mod tests {
             c.mark_dirty(b, O);
         }
         let flushed = c.take_dirty();
-        assert_eq!(flushed.iter().map(|(b, _)| *b).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(
+            flushed.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
         assert!(c.take_dirty().is_empty());
         // Blocks stay resident after flush.
         assert!(c.contains(5));

@@ -107,7 +107,10 @@ mod tests {
     fn update_is_strictly_periodic() {
         let cfg = DaemonConfig::default();
         let mut rng = SimRng::new(1);
-        assert_eq!(cfg.next_tick(DaemonKind::Update, 100, &mut rng), 100 + 5_000_000);
+        assert_eq!(
+            cfg.next_tick(DaemonKind::Update, 100, &mut rng),
+            100 + 5_000_000
+        );
     }
 
     #[test]
@@ -121,7 +124,10 @@ mod tests {
         }
         let mean = sum as f64 / n as f64;
         let target = cfg.syslog_mean_us as f64;
-        assert!((mean - target).abs() < target * 0.05, "mean {mean} vs {target}");
+        assert!(
+            (mean - target).abs() < target * 0.05,
+            "mean {mean} vs {target}"
+        );
     }
 
     #[test]
@@ -140,7 +146,7 @@ mod tests {
         let cfg = DaemonConfig::default();
         let mut rng = SimRng::new(4);
         let lens: Vec<u32> = (0..1000).map(|_| cfg.syslog_line_len(&mut rng)).collect();
-        assert!(lens.iter().all(|&l| l >= 60 && l < 180));
+        assert!(lens.iter().all(|&l| (60..180).contains(&l)));
         let distinct: std::collections::HashSet<u32> = lens.iter().copied().collect();
         assert!(distinct.len() > 20);
     }

@@ -129,7 +129,10 @@ impl Allocator {
         let log_meta = (log.0 + 2_500, log.0 + 2_500 + GROUP_META_BLOCKS);
         regions.insert(placement_key(Placement::Log), log);
         regions.insert(placement_key(Placement::User), user);
-        regions.insert(placement_key(Placement::High), (high.0 + GROUP_META_BLOCKS, high.1));
+        regions.insert(
+            placement_key(Placement::High),
+            (high.0 + GROUP_META_BLOCKS, high.1),
+        );
         Self {
             regions,
             freed: BTreeSet::new(),
@@ -313,7 +316,12 @@ impl Fs {
     // ----- data ----------------------------------------------------------
 
     /// Write `data` at byte `offset`, growing the file as needed.
-    pub fn write_at(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<WriteOutcome, SysError> {
+    pub fn write_at(
+        &mut self,
+        ino: Ino,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<WriteOutcome, SysError> {
         if data.is_empty() {
             return Ok(WriteOutcome::default());
         }
@@ -372,21 +380,35 @@ impl Fs {
     pub fn read_plan(&self, ino: Ino, offset: u64, len: u32) -> Result<ReadPlan, SysError> {
         let node = self.inode(ino).ok_or(SysError::NotFound)?;
         if offset >= node.size {
-            return Ok(ReadPlan { data: Vec::new(), blocks: Vec::new(), indirect: None });
+            return Ok(ReadPlan {
+                data: Vec::new(),
+                blocks: Vec::new(),
+                indirect: None,
+            });
         }
         let end = (offset + len as u64).min(node.size);
         let data = node.data[offset as usize..end as usize].to_vec();
         let first_blk = (offset / BLOCK_BYTES as u64) as usize;
         let last_blk = ((end - 1) / BLOCK_BYTES as u64) as usize;
         let blocks = node.blocks[first_blk..=last_blk.min(node.blocks.len() - 1)].to_vec();
-        let indirect = if last_blk >= NDIRECT { node.indirect } else { None };
-        Ok(ReadPlan { data, blocks, indirect })
+        let indirect = if last_blk >= NDIRECT {
+            node.indirect
+        } else {
+            None
+        };
+        Ok(ReadPlan {
+            data,
+            blocks,
+            indirect,
+        })
     }
 
     /// Device blocks backing the 4 KB page at `page_index` of a file
     /// (text demand paging). Empty if the page is beyond EOF.
     pub fn page_blocks(&self, ino: Ino, page_index: u32) -> Vec<BlockNo> {
-        let Some(node) = self.inode(ino) else { return Vec::new() };
+        let Some(node) = self.inode(ino) else {
+            return Vec::new();
+        };
         let per_page = (4096 / BLOCK_BYTES) as usize;
         let start = page_index as usize * per_page;
         if start >= node.blocks.len() {
@@ -399,7 +421,9 @@ impl Fs {
     /// Blocks directly following `block` in this file's map (for read-ahead),
     /// up to `max`, stopping at the first physical discontiguity.
     pub fn contiguous_following(&self, ino: Ino, block: BlockNo, max: usize) -> Vec<BlockNo> {
-        let Some(node) = self.inode(ino) else { return Vec::new() };
+        let Some(node) = self.inode(ino) else {
+            return Vec::new();
+        };
         let Some(pos) = node.blocks.iter().position(|&b| b == block) else {
             return Vec::new();
         };
@@ -418,7 +442,9 @@ impl Fs {
     /// The device blocks backing `nblocks` file blocks starting at byte
     /// `offset` (clipped at EOF) — the prefetch resolution path.
     pub fn blocks_in_range(&self, ino: Ino, offset: u64, nblocks: u32) -> Vec<BlockNo> {
-        let Some(node) = self.inode(ino) else { return Vec::new() };
+        let Some(node) = self.inode(ino) else {
+            return Vec::new();
+        };
         let first = (offset / BLOCK_BYTES as u64) as usize;
         if first >= node.blocks.len() {
             return Vec::new();
@@ -493,9 +519,18 @@ mod tests {
         f.write_at(user, 0, &[0; 1024]).unwrap();
         f.write_at(high, 0, &[0; 1024]).unwrap();
         let sector_of = |f: &Fs, ino: Ino| f.inode(ino).unwrap().blocks[0] * SECTORS_PER_BLOCK;
-        assert_eq!(layout.region_of(sector_of(&f, log)), essio_disk::Region::Log);
-        assert_eq!(layout.region_of(sector_of(&f, user)), essio_disk::Region::UserData);
-        assert_eq!(layout.region_of(sector_of(&f, high)), essio_disk::Region::HighSystem);
+        assert_eq!(
+            layout.region_of(sector_of(&f, log)),
+            essio_disk::Region::Log
+        );
+        assert_eq!(
+            layout.region_of(sector_of(&f, user)),
+            essio_disk::Region::UserData
+        );
+        assert_eq!(
+            layout.region_of(sector_of(&f, high)),
+            essio_disk::Region::HighSystem
+        );
     }
 
     #[test]
@@ -522,10 +557,14 @@ mod tests {
     fn indirect_block_appears_past_ndirect() {
         let mut f = fs();
         let ino = f.create("/f", Placement::User).unwrap();
-        let out = f.write_at(ino, 0, &vec![0u8; NDIRECT as u64 as usize * 1024]).unwrap();
+        let out = f
+            .write_at(ino, 0, &vec![0u8; NDIRECT as u64 as usize * 1024])
+            .unwrap();
         assert!(f.inode(ino).unwrap().indirect.is_none());
         drop(out);
-        let out2 = f.write_at(ino, (NDIRECT * 1024) as u64, &[0u8; 1024]).unwrap();
+        let out2 = f
+            .write_at(ino, (NDIRECT * 1024) as u64, &[0u8; 1024])
+            .unwrap();
         let ind = f.inode(ino).unwrap().indirect.expect("indirect allocated");
         assert!(out2.meta_blocks.contains(&ind));
         // A read reaching past the direct range reports the indirect block.
@@ -543,7 +582,10 @@ mod tests {
         let out = f.write_at(ino, 0, &[7u8; 2048]).unwrap();
         assert_eq!(out.data_blocks.len(), 2);
         assert!(out.meta_blocks.contains(&f.inode_block(ino)));
-        assert!(out.meta_blocks.iter().any(|b| *b == f.bitmap_block_for(out.data_blocks[0])));
+        assert!(out
+            .meta_blocks
+            .iter()
+            .any(|b| *b == f.bitmap_block_for(out.data_blocks[0])));
         // Overwrite without growth dirties only data blocks.
         let out2 = f.write_at(ino, 0, &[9u8; 100]).unwrap();
         assert_eq!(out2.data_blocks.len(), 1);
@@ -559,7 +601,11 @@ mod tests {
         f.unlink("/a").unwrap();
         let b = f.create("/b", Placement::User).unwrap();
         f.write_at(b, 0, &[0u8; 1024]).unwrap();
-        assert_eq!(f.inode(b).unwrap().blocks[0], freed[0], "freed block reused first");
+        assert_eq!(
+            f.inode(b).unwrap().blocks[0],
+            freed[0],
+            "freed block reused first"
+        );
     }
 
     #[test]
@@ -591,9 +637,17 @@ mod tests {
         let mut f = fs();
         let layout = f.layout().clone();
         // Core metadata + user-group tables live at the disk front.
-        for blk in [f.superblock_block(), f.dir_block(), f.bitmap_block_for(200_000)] {
+        for blk in [
+            f.superblock_block(),
+            f.dir_block(),
+            f.bitmap_block_for(200_000),
+        ] {
             let sector = blk * SECTORS_PER_BLOCK;
-            assert_eq!(layout.region_of(sector), essio_disk::Region::Metadata, "block {blk}");
+            assert_eq!(
+                layout.region_of(sector),
+                essio_disk::Region::Metadata,
+                "block {blk}"
+            );
         }
         // A log file's inode sits in the log block group — near sector
         // 45,000, the paper's Figure-8 hot spot.
@@ -622,6 +676,9 @@ mod tests {
         let meta_lo = 22_500;
         let meta_hi = 22_500 + GROUP_META_BLOCKS;
         assert!(blocks.iter().all(|b| *b < meta_lo || *b >= meta_hi));
-        assert!(blocks.iter().any(|b| *b >= meta_hi), "allocation continued past the window");
+        assert!(
+            blocks.iter().any(|b| *b >= meta_hi),
+            "allocation continued past the window"
+        );
     }
 }

@@ -22,7 +22,7 @@ use std::collections::{HashMap, VecDeque};
 
 use essio_disk::{BlockRequest, IdeDriver, SubmitOutcome};
 use essio_sim::{SimRng, SimTime, Vpn};
-use essio_trace::{InstrumentationLevel, Op, Origin, TraceRecord};
+use essio_trace::{InstrumentationLevel, Op, Origin, RecordSink, TraceRecord};
 
 use crate::cache::BufferCache;
 use crate::daemons::{DaemonConfig, DaemonKind};
@@ -143,8 +143,13 @@ struct OpenFile {
 
 #[derive(Debug)]
 enum WaitKind {
-    Syscall { result: SysResult },
-    Touches { remaining: VecDeque<Vpn>, cpu_us: u64 },
+    Syscall {
+        result: SysResult,
+    },
+    Touches {
+        remaining: VecDeque<Vpn>,
+        cpu_us: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -192,9 +197,13 @@ impl Kernel {
     pub fn new(cfg: KernelConfig) -> Self {
         let layout = essio_disk::DiskLayout::beowulf_500mb();
         let mut fs = Fs::new(layout.clone());
-        let syslog_ino = fs.create("/var/log/messages", Placement::Log).expect("fresh fs");
+        let syslog_ino = fs
+            .create("/var/log/messages", Placement::Log)
+            .expect("fresh fs");
         let ktable_ino = fs.create("/sys/ktable", Placement::High).expect("fresh fs");
-        let spool_ino = fs.create("/var/log/iotrace", Placement::High).expect("fresh fs");
+        let spool_ino = fs
+            .create("/var/log/iotrace", Placement::High)
+            .expect("fresh fs");
         let vm = Vm::new(cfg.frames_user, &layout);
         let cache = BufferCache::new(cfg.cache_blocks);
         let driver = IdeDriver::new(cfg.node, cfg.timing.clone(), cfg.sched, cfg.trace_capacity);
@@ -248,6 +257,12 @@ impl Kernel {
         self.driver.drain_trace(usize::MAX)
     }
 
+    /// Stream captured trace records into `sink` without materialising a
+    /// `Vec` — the live-tap path for online analytics.
+    pub fn drain_trace_into(&mut self, sink: &mut dyn RecordSink) -> usize {
+        self.driver.drain_trace_into(usize::MAX, sink)
+    }
+
     /// Records lost to trace-ring overflow.
     pub fn trace_dropped(&self) -> u64 {
         self.driver.trace_dropped()
@@ -257,8 +272,13 @@ impl Kernel {
     /// the wavelet's image). No I/O is simulated — this is "the disk came
     /// installed that way".
     pub fn install_file(&mut self, path: &str, placement: Placement, content: &[u8]) -> Ino {
-        let ino = self.fs.create(path, placement).expect("install path unique");
-        self.fs.write_at(ino, 0, content).expect("space for installed file");
+        let ino = self
+            .fs
+            .create(path, placement)
+            .expect("install path unique");
+        self.fs
+            .write_at(ino, 0, content)
+            .expect("space for installed file");
         ino
     }
 
@@ -283,7 +303,12 @@ impl Kernel {
     pub fn boot_deadlines(&mut self, now: SimTime) -> Vec<(SimTime, KernelEvent)> {
         DaemonKind::ALL
             .iter()
-            .map(|k| (self.cfg.daemons.next_tick(*k, now, &mut self.rng), KernelEvent::Daemon(*k)))
+            .map(|k| {
+                (
+                    self.cfg.daemons.next_tick(*k, now, &mut self.rng),
+                    KernelEvent::Daemon(*k),
+                )
+            })
             .collect()
     }
 
@@ -291,6 +316,7 @@ impl Kernel {
     // Request submission plumbing
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn submit(
         &mut self,
         now: SimTime,
@@ -303,12 +329,30 @@ impl Kernel {
     ) -> Option<SimTime> {
         let token = self.next_token;
         self.next_token += 1;
-        self.tokens.insert(token, TokenInfo { fill_blocks, waiter });
+        self.tokens.insert(
+            token,
+            TokenInfo {
+                fill_blocks,
+                waiter,
+            },
+        );
         if let Some(pid) = waiter {
             let proc = self.procs.get_mut(&pid).expect("waiter registered");
-            proc.wait.as_mut().expect("wait created before submit").outstanding += 1;
+            proc.wait
+                .as_mut()
+                .expect("wait created before submit")
+                .outstanding += 1;
         }
-        match self.driver.submit(now, BlockRequest { sector, nsectors, op, origin, token }) {
+        match self.driver.submit(
+            now,
+            BlockRequest {
+                sector,
+                nsectors,
+                op,
+                origin,
+                token,
+            },
+        ) {
             SubmitOutcome::Dispatched { completes_at } => Some(completes_at),
             SubmitOutcome::Queued | SubmitOutcome::Merged => None,
         }
@@ -318,7 +362,9 @@ impl Kernel {
     fn runs(blocks: &[BlockNo]) -> Vec<(BlockNo, u16)> {
         let mut out = Vec::new();
         let mut iter = blocks.iter();
-        let Some(&first) = iter.next() else { return out };
+        let Some(&first) = iter.next() else {
+            return out;
+        };
         let mut start = first;
         let mut len: u16 = 1;
         for &b in iter {
@@ -438,7 +484,11 @@ impl Kernel {
         debug_assert!(self.procs.contains_key(&pid), "unregistered pid {pid}");
         let base = self.cfg.syscall_us;
         match call {
-            Syscall::Open { path, create, placement } => {
+            Syscall::Open {
+                path,
+                create,
+                placement,
+            } => {
                 let ino = match self.fs.lookup(&path) {
                     Some(ino) => ino,
                     None if create => match self.fs.create(&path, placement) {
@@ -446,23 +496,55 @@ impl Kernel {
                             // Creating dirties the directory + inode table.
                             let d = self.cache.mark_dirty(self.fs.dir_block(), Origin::Metadata);
                             let mut deadline = self.writeback(now, &d);
-                            let d2 = self.cache.mark_dirty(self.fs.inode_block(ino), Origin::Metadata);
+                            let d2 = self
+                                .cache
+                                .mark_dirty(self.fs.inode_block(ino), Origin::Metadata);
                             deadline = deadline.or(self.writeback(now, &d2));
                             let proc = self.procs.get_mut(&pid).expect("registered");
                             let fd = proc.next_fd;
                             proc.next_fd += 1;
-                            proc.fds.insert(fd, OpenFile { ino, ra: ReadAhead::new() });
-                            return (Outcome::Done { result: SysResult::Fd(fd), cpu_us: base }, deadline);
+                            proc.fds.insert(
+                                fd,
+                                OpenFile {
+                                    ino,
+                                    ra: ReadAhead::new(),
+                                },
+                            );
+                            return (
+                                Outcome::Done {
+                                    result: SysResult::Fd(fd),
+                                    cpu_us: base,
+                                },
+                                deadline,
+                            );
                         }
-                        Err(e) => return (Outcome::Done { result: SysResult::Err(e), cpu_us: base }, None),
+                        Err(e) => {
+                            return (
+                                Outcome::Done {
+                                    result: SysResult::Err(e),
+                                    cpu_us: base,
+                                },
+                                None,
+                            )
+                        }
                     },
                     None => {
-                        return (Outcome::Done { result: SysResult::Err(SysError::NotFound), cpu_us: base }, None)
+                        return (
+                            Outcome::Done {
+                                result: SysResult::Err(SysError::NotFound),
+                                cpu_us: base,
+                            },
+                            None,
+                        )
                     }
                 };
                 // Existing file: the lookup reads directory + inode blocks.
                 let meta = [self.fs.dir_block(), self.fs.inode_block(ino)];
-                let misses: Vec<BlockNo> = meta.iter().copied().filter(|b| !self.cache.touch(*b)).collect();
+                let misses: Vec<BlockNo> = meta
+                    .iter()
+                    .copied()
+                    .filter(|b| !self.cache.touch(*b))
+                    .collect();
                 for b in &misses {
                     let wb = self.cache.insert_clean(*b, Origin::Metadata);
                     // Evictions from metadata fill are rare; handle anyway.
@@ -471,13 +553,37 @@ impl Kernel {
                 let proc = self.procs.get_mut(&pid).expect("registered");
                 let fd = proc.next_fd;
                 proc.next_fd += 1;
-                proc.fds.insert(fd, OpenFile { ino, ra: ReadAhead::new() });
+                proc.fds.insert(
+                    fd,
+                    OpenFile {
+                        ino,
+                        ra: ReadAhead::new(),
+                    },
+                );
                 if misses.is_empty() {
-                    return (Outcome::Done { result: SysResult::Fd(fd), cpu_us: base }, None);
+                    return (
+                        Outcome::Done {
+                            result: SysResult::Fd(fd),
+                            cpu_us: base,
+                        },
+                        None,
+                    );
                 }
                 let proc = self.procs.get_mut(&pid).expect("registered");
-                proc.wait = Some(Wait { outstanding: 0, kind: WaitKind::Syscall { result: SysResult::Fd(fd) } });
-                let (_, deadline) = self.submit_block_runs(now, &misses, Op::Read, Origin::Metadata, Some(pid), false);
+                proc.wait = Some(Wait {
+                    outstanding: 0,
+                    kind: WaitKind::Syscall {
+                        result: SysResult::Fd(fd),
+                    },
+                });
+                let (_, deadline) = self.submit_block_runs(
+                    now,
+                    &misses,
+                    Op::Read,
+                    Origin::Metadata,
+                    Some(pid),
+                    false,
+                );
                 (Outcome::Blocked, deadline)
             }
 
@@ -488,14 +594,26 @@ impl Kernel {
                 } else {
                     SysResult::Err(SysError::BadFd)
                 };
-                (Outcome::Done { result, cpu_us: base }, None)
+                (
+                    Outcome::Done {
+                        result,
+                        cpu_us: base,
+                    },
+                    None,
+                )
             }
 
             Syscall::ReadAt { fd, offset, len } => self.sys_read(now, pid, fd, offset, len),
 
             Syscall::WriteAt { fd, offset, data } => {
                 let Some(of) = self.procs.get(&pid).and_then(|p| p.fds.get(&fd)) else {
-                    return (Outcome::Done { result: SysResult::Err(SysError::BadFd), cpu_us: base }, None);
+                    return (
+                        Outcome::Done {
+                            result: SysResult::Err(SysError::BadFd),
+                            cpu_us: base,
+                        },
+                        None,
+                    );
                 };
                 let ino = of.ino;
                 let origin = match self.fs.inode(ino).map(|i| i.placement) {
@@ -505,14 +623,32 @@ impl Kernel {
                 let n = data.len() as u32;
                 let cpu = base + (data.len() as u64 * self.cfg.copy_us_per_kb) / 1024;
                 match self.apply_write(now, ino, offset, &data, origin) {
-                    Ok(deadline) => (Outcome::Done { result: SysResult::Written(n), cpu_us: cpu }, deadline),
-                    Err(e) => (Outcome::Done { result: SysResult::Err(e), cpu_us: base }, None),
+                    Ok(deadline) => (
+                        Outcome::Done {
+                            result: SysResult::Written(n),
+                            cpu_us: cpu,
+                        },
+                        deadline,
+                    ),
+                    Err(e) => (
+                        Outcome::Done {
+                            result: SysResult::Err(e),
+                            cpu_us: base,
+                        },
+                        None,
+                    ),
                 }
             }
 
             Syscall::Append { fd, data } => {
                 let Some(of) = self.procs.get(&pid).and_then(|p| p.fds.get(&fd)) else {
-                    return (Outcome::Done { result: SysResult::Err(SysError::BadFd), cpu_us: base }, None);
+                    return (
+                        Outcome::Done {
+                            result: SysResult::Err(SysError::BadFd),
+                            cpu_us: base,
+                        },
+                        None,
+                    );
                 };
                 let ino = of.ino;
                 let offset = self.fs.inode(ino).map(|i| i.size).unwrap_or(0);
@@ -521,30 +657,63 @@ impl Kernel {
 
             Syscall::Fsync { fd } => {
                 let Some(of) = self.procs.get(&pid).and_then(|p| p.fds.get(&fd)) else {
-                    return (Outcome::Done { result: SysResult::Err(SysError::BadFd), cpu_us: base }, None);
+                    return (
+                        Outcome::Done {
+                            result: SysResult::Err(SysError::BadFd),
+                            cpu_us: base,
+                        },
+                        None,
+                    );
                 };
                 let ino = of.ino;
-                let mut blocks = self.fs.inode(ino).map(|i| i.blocks.clone()).unwrap_or_default();
+                let mut blocks = self
+                    .fs
+                    .inode(ino)
+                    .map(|i| i.blocks.clone())
+                    .unwrap_or_default();
                 blocks.push(self.fs.inode_block(ino));
                 let dirty = self.cache.take_dirty_among(&blocks);
                 if dirty.is_empty() {
-                    return (Outcome::Done { result: SysResult::Unit, cpu_us: base }, None);
+                    return (
+                        Outcome::Done {
+                            result: SysResult::Unit,
+                            cpu_us: base,
+                        },
+                        None,
+                    );
                 }
                 let proc = self.procs.get_mut(&pid).expect("registered");
-                proc.wait = Some(Wait { outstanding: 0, kind: WaitKind::Syscall { result: SysResult::Unit } });
+                proc.wait = Some(Wait {
+                    outstanding: 0,
+                    kind: WaitKind::Syscall {
+                        result: SysResult::Unit,
+                    },
+                });
                 let blocks: Vec<BlockNo> = dirty.iter().map(|(b, _)| *b).collect();
                 let origin = dirty.first().map(|(_, o)| *o).unwrap_or(Origin::FileData);
-                let (_, deadline) = self.submit_block_runs(now, &blocks, Op::Write, origin, Some(pid), false);
+                let (_, deadline) =
+                    self.submit_block_runs(now, &blocks, Op::Write, origin, Some(pid), false);
                 (Outcome::Blocked, deadline)
             }
 
             Syscall::Sync => {
                 let dirty = self.cache.take_dirty();
                 if dirty.is_empty() {
-                    return (Outcome::Done { result: SysResult::Unit, cpu_us: base }, None);
+                    return (
+                        Outcome::Done {
+                            result: SysResult::Unit,
+                            cpu_us: base,
+                        },
+                        None,
+                    );
                 }
                 let proc = self.procs.get_mut(&pid).expect("registered");
-                proc.wait = Some(Wait { outstanding: 0, kind: WaitKind::Syscall { result: SysResult::Unit } });
+                proc.wait = Some(Wait {
+                    outstanding: 0,
+                    kind: WaitKind::Syscall {
+                        result: SysResult::Unit,
+                    },
+                });
                 let mut deadline = None;
                 for (b, origin) in dirty {
                     let d = self.submit(
@@ -563,10 +732,18 @@ impl Kernel {
 
             Syscall::Stat { path } => {
                 let result = match self.fs.lookup(&path) {
-                    Some(ino) => SysResult::Stat { size: self.fs.inode(ino).map(|i| i.size).unwrap_or(0) },
+                    Some(ino) => SysResult::Stat {
+                        size: self.fs.inode(ino).map(|i| i.size).unwrap_or(0),
+                    },
                     None => SysResult::Err(SysError::NotFound),
                 };
-                (Outcome::Done { result, cpu_us: base }, None)
+                (
+                    Outcome::Done {
+                        result,
+                        cpu_us: base,
+                    },
+                    None,
+                )
             }
 
             Syscall::Unlink { path } => match self.fs.unlink(&path) {
@@ -576,45 +753,114 @@ impl Kernel {
                         let wb = self.cache.mark_dirty(b, Origin::Metadata);
                         deadline = deadline.or(self.writeback(now, &wb));
                     }
-                    (Outcome::Done { result: SysResult::Unit, cpu_us: base }, deadline)
+                    (
+                        Outcome::Done {
+                            result: SysResult::Unit,
+                            cpu_us: base,
+                        },
+                        deadline,
+                    )
                 }
-                Err(e) => (Outcome::Done { result: SysResult::Err(e), cpu_us: base }, None),
+                Err(e) => (
+                    Outcome::Done {
+                        result: SysResult::Err(e),
+                        cpu_us: base,
+                    },
+                    None,
+                ),
             },
 
             Syscall::MapAnon { pages } => {
                 if pages == 0 {
-                    return (Outcome::Done { result: SysResult::Err(SysError::Invalid), cpu_us: base }, None);
+                    return (
+                        Outcome::Done {
+                            result: SysResult::Err(SysError::Invalid),
+                            cpu_us: base,
+                        },
+                        None,
+                    );
                 }
                 let basevpn = self.vm.map_anon(pid, pages);
-                (Outcome::Done { result: SysResult::Mapped { base: basevpn, pages }, cpu_us: base }, None)
+                (
+                    Outcome::Done {
+                        result: SysResult::Mapped {
+                            base: basevpn,
+                            pages,
+                        },
+                        cpu_us: base,
+                    },
+                    None,
+                )
             }
 
             Syscall::MapText { path } => {
                 let Some(ino) = self.fs.lookup(&path) else {
-                    return (Outcome::Done { result: SysResult::Err(SysError::NotFound), cpu_us: base }, None);
+                    return (
+                        Outcome::Done {
+                            result: SysResult::Err(SysError::NotFound),
+                            cpu_us: base,
+                        },
+                        None,
+                    );
                 };
                 let size = self.fs.inode(ino).map(|i| i.size).unwrap_or(0);
                 let pages = (size as u32).div_ceil(PAGE_BYTES).max(1);
                 let basevpn = self.vm.map_text(pid, ino, pages);
-                (Outcome::Done { result: SysResult::Mapped { base: basevpn, pages }, cpu_us: base }, None)
+                (
+                    Outcome::Done {
+                        result: SysResult::Mapped {
+                            base: basevpn,
+                            pages,
+                        },
+                        cpu_us: base,
+                    },
+                    None,
+                )
             }
 
             Syscall::LogMsg { len } => {
                 let deadline = self.append_log(now, len.clamp(1, 4096));
-                (Outcome::Done { result: SysResult::Unit, cpu_us: base }, deadline)
+                (
+                    Outcome::Done {
+                        result: SysResult::Unit,
+                        cpu_us: base,
+                    },
+                    deadline,
+                )
             }
         }
     }
 
-    fn sys_read(&mut self, now: SimTime, pid: Pid, fd: Fd, offset: u64, len: u32) -> (Outcome, Option<SimTime>) {
+    fn sys_read(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        fd: Fd,
+        offset: u64,
+        len: u32,
+    ) -> (Outcome, Option<SimTime>) {
         let base = self.cfg.syscall_us;
         let Some(of) = self.procs.get(&pid).and_then(|p| p.fds.get(&fd)) else {
-            return (Outcome::Done { result: SysResult::Err(SysError::BadFd), cpu_us: base }, None);
+            return (
+                Outcome::Done {
+                    result: SysResult::Err(SysError::BadFd),
+                    cpu_us: base,
+                },
+                None,
+            );
         };
         let ino = of.ino;
         let plan = match self.fs.read_plan(ino, offset, len) {
             Ok(p) => p,
-            Err(e) => return (Outcome::Done { result: SysResult::Err(e), cpu_us: base }, None),
+            Err(e) => {
+                return (
+                    Outcome::Done {
+                        result: SysResult::Err(e),
+                        cpu_us: base,
+                    },
+                    None,
+                )
+            }
         };
         let cpu = base + (plan.data.len() as u64 * self.cfg.copy_us_per_kb) / 1024;
 
@@ -635,7 +881,12 @@ impl Kernel {
         };
 
         // Demand misses.
-        let misses: Vec<BlockNo> = plan.blocks.iter().copied().filter(|b| !self.cache.touch(*b)).collect();
+        let misses: Vec<BlockNo> = plan
+            .blocks
+            .iter()
+            .copied()
+            .filter(|b| !self.cache.touch(*b))
+            .collect();
         let mut meta_misses: Vec<BlockNo> = Vec::new();
         if let Some(ind) = plan.indirect {
             if !self.cache.touch(ind) {
@@ -645,7 +896,10 @@ impl Kernel {
             }
         }
         // Read-ahead misses (blocks not already cached), fetched async.
-        let ra_misses: Vec<BlockNo> = ra_blocks.into_iter().filter(|b| !self.cache.contains(*b)).collect();
+        let ra_misses: Vec<BlockNo> = ra_blocks
+            .into_iter()
+            .filter(|b| !self.cache.contains(*b))
+            .collect();
 
         let mut deadline = None;
         // Fill cache entries for everything being fetched.
@@ -659,10 +913,23 @@ impl Kernel {
             if !ra_misses.is_empty() {
                 // Demand block contiguous with read-ahead? Submit as one
                 // run starting from the RA blocks only (demand was cached).
-                let (_, d) = self.submit_block_runs(now, &ra_misses, Op::Read, Origin::FileData, None, false);
+                let (_, d) = self.submit_block_runs(
+                    now,
+                    &ra_misses,
+                    Op::Read,
+                    Origin::FileData,
+                    None,
+                    false,
+                );
                 deadline = deadline.or(d);
             }
-            return (Outcome::Done { result: SysResult::Data(plan.data), cpu_us: cpu }, deadline);
+            return (
+                Outcome::Done {
+                    result: SysResult::Data(plan.data),
+                    cpu_us: cpu,
+                },
+                deadline,
+            );
         }
 
         // Blocking path: demand + read-ahead fetched together — contiguous
@@ -670,16 +937,26 @@ impl Kernel {
         // "cache-fill" transfers of Figures 3/5).
         self.procs.get_mut(&pid).expect("registered").wait = Some(Wait {
             outstanding: 0,
-            kind: WaitKind::Syscall { result: SysResult::Data(plan.data) },
+            kind: WaitKind::Syscall {
+                result: SysResult::Data(plan.data),
+            },
         });
         let mut fetch: Vec<BlockNo> = misses;
         fetch.extend_from_slice(&ra_misses);
         fetch.sort_unstable();
         fetch.dedup();
-        let (_, d) = self.submit_block_runs(now, &fetch, Op::Read, Origin::FileData, Some(pid), false);
+        let (_, d) =
+            self.submit_block_runs(now, &fetch, Op::Read, Origin::FileData, Some(pid), false);
         deadline = deadline.or(d);
         if !meta_misses.is_empty() {
-            let (_, d2) = self.submit_block_runs(now, &meta_misses, Op::Read, Origin::Metadata, Some(pid), false);
+            let (_, d2) = self.submit_block_runs(
+                now,
+                &meta_misses,
+                Op::Read,
+                Origin::Metadata,
+                Some(pid),
+                false,
+            );
             deadline = deadline.or(d2);
         }
         (Outcome::Blocked, deadline)
@@ -690,7 +967,12 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Feed a batch of page touches from `pid`.
-    pub fn touches(&mut self, now: SimTime, pid: Pid, touches: Vec<Vpn>) -> (TouchOutcome, Option<SimTime>) {
+    pub fn touches(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        touches: Vec<Vpn>,
+    ) -> (TouchOutcome, Option<SimTime>) {
         if touches.is_empty() {
             return (TouchOutcome::Done { cpu_us: 0 }, None);
         }
@@ -709,8 +991,12 @@ impl Kernel {
         while let Some(vpn) = queue.pop_front() {
             match self.vm.touch(pid, vpn) {
                 TouchResult::Hit => {}
-                TouchResult::BadAddress => return (TouchOutcome::Fatal("segmentation fault"), deadline),
-                TouchResult::OutOfMemory => return (TouchOutcome::Fatal("out of memory (swap full)"), deadline),
+                TouchResult::BadAddress => {
+                    return (TouchOutcome::Fatal("segmentation fault"), deadline)
+                }
+                TouchResult::OutOfMemory => {
+                    return (TouchOutcome::Fatal("out of memory (swap full)"), deadline)
+                }
                 TouchResult::Fault { io, swap_outs } => {
                     cpu_us += self.cfg.fault_us;
                     for slot in swap_outs {
@@ -732,7 +1018,10 @@ impl Kernel {
                             let sector = self.vm.slot_sector(slot);
                             self.procs.get_mut(&pid).expect("registered").wait = Some(Wait {
                                 outstanding: 0,
-                                kind: WaitKind::Touches { remaining: queue, cpu_us },
+                                kind: WaitKind::Touches {
+                                    remaining: queue,
+                                    cpu_us,
+                                },
                             });
                             let d = self.submit(
                                 now,
@@ -753,7 +1042,10 @@ impl Kernel {
                                 .unwrap_or_else(|| self.fs.inode_block(ino) * SECTORS_PER_BLOCK);
                             self.procs.get_mut(&pid).expect("registered").wait = Some(Wait {
                                 outstanding: 0,
-                                kind: WaitKind::Touches { remaining: queue, cpu_us },
+                                kind: WaitKind::Touches {
+                                    remaining: queue,
+                                    cpu_us,
+                                },
                             });
                             let d = self.submit(
                                 now,
@@ -783,14 +1075,20 @@ impl Kernel {
         let (completion, mut deadline) = self.driver.on_complete(now);
         let mut wakes = Vec::new();
         for token in completion.tokens {
-            let Some(info) = self.tokens.remove(&token) else { continue };
+            let Some(info) = self.tokens.remove(&token) else {
+                continue;
+            };
             for b in info.fill_blocks {
                 let wb = self.cache.insert_clean(b, Origin::FileData);
                 deadline = deadline.or(self.writeback(now, &wb));
             }
             let Some(pid) = info.waiter else { continue };
-            let Some(proc) = self.procs.get_mut(&pid) else { continue };
-            let Some(wait) = proc.wait.as_mut() else { continue };
+            let Some(proc) = self.procs.get_mut(&pid) else {
+                continue;
+            };
+            let Some(wait) = proc.wait.as_mut() else {
+                continue;
+            };
             debug_assert!(wait.outstanding > 0, "token fan-in accounting");
             wait.outstanding -= 1;
             if wait.outstanding > 0 {
@@ -804,7 +1102,9 @@ impl Kernel {
                     let (outcome, d) = self.drive_touches(now, pid, remaining, cpu_us);
                     deadline = deadline.or(d);
                     match outcome {
-                        TouchOutcome::Done { cpu_us } => wakes.push((pid, WakeKind::TouchDone { cpu_us })),
+                        TouchOutcome::Done { cpu_us } => {
+                            wakes.push((pid, WakeKind::TouchDone { cpu_us }))
+                        }
                         TouchOutcome::Blocked => {}
                         TouchOutcome::Fatal(m) => wakes.push((pid, WakeKind::Fatal(m))),
                     }
@@ -904,7 +1204,11 @@ mod tests {
 
     impl Pump {
         fn new(k: Kernel) -> Self {
-            Self { k, pending: None, now: 0 }
+            Self {
+                k,
+                pending: None,
+                now: 0,
+            }
         }
 
         fn merge(&mut self, d: Option<SimTime>) {
@@ -961,7 +1265,9 @@ mod tests {
                 TouchOutcome::Blocked => {
                     let wakes = self.drain();
                     assert!(
-                        wakes.iter().any(|(p, w)| *p == pid && matches!(w, WakeKind::TouchDone { .. })),
+                        wakes
+                            .iter()
+                            .any(|(p, w)| *p == pid && matches!(w, WakeKind::TouchDone { .. })),
                         "blocked touch stream must wake: {wakes:?}"
                     );
                 }
@@ -982,21 +1288,55 @@ mod tests {
     fn open_create_write_read_roundtrip() {
         let mut k = kernel();
         k.register_process(1);
-        let (o, d) = k.syscall(0, 1, Syscall::Open { path: "/out".into(), create: true, placement: Placement::User });
-        let Outcome::Done { result, .. } = o else { panic!("create cannot block") };
+        let (o, d) = k.syscall(
+            0,
+            1,
+            Syscall::Open {
+                path: "/out".into(),
+                create: true,
+                placement: Placement::User,
+            },
+        );
+        let Outcome::Done { result, .. } = o else {
+            panic!("create cannot block")
+        };
         let fd = result.fd();
         pump(&mut k, d);
 
         let payload: Vec<u8> = (0..5000u32).map(|i| (i & 0xFF) as u8).collect();
-        let (o, d) = k.syscall(1_000, 1, Syscall::WriteAt { fd, offset: 0, data: payload.clone() });
-        let Outcome::Done { result: SysResult::Written(n), .. } = o else { panic!() };
+        let (o, d) = k.syscall(
+            1_000,
+            1,
+            Syscall::WriteAt {
+                fd,
+                offset: 0,
+                data: payload.clone(),
+            },
+        );
+        let Outcome::Done {
+            result: SysResult::Written(n),
+            ..
+        } = o
+        else {
+            panic!()
+        };
         assert_eq!(n, 5000);
         pump(&mut k, d);
 
         // Read back while still cached: no disk read.
         let before = k.driver_stats().dispatched;
-        let (o, d) = k.syscall(2_000, 1, Syscall::ReadAt { fd, offset: 0, len: 5000 });
-        let Outcome::Done { result, .. } = o else { panic!("cached read must not block") };
+        let (o, d) = k.syscall(
+            2_000,
+            1,
+            Syscall::ReadAt {
+                fd,
+                offset: 0,
+                len: 5000,
+            },
+        );
+        let Outcome::Done { result, .. } = o else {
+            panic!("cached read must not block")
+        };
         assert_eq!(result.data(), payload);
         assert!(d.is_none());
         assert_eq!(k.driver_stats().dispatched, before);
@@ -1008,20 +1348,40 @@ mod tests {
         let payload = vec![7u8; 3000];
         k.install_file("/data", Placement::User, &payload);
         k.register_process(1);
-        let (o, d) = k.syscall(0, 1, Syscall::Open { path: "/data".into(), create: false, placement: Placement::User });
+        let (o, d) = k.syscall(
+            0,
+            1,
+            Syscall::Open {
+                path: "/data".into(),
+                create: false,
+                placement: Placement::User,
+            },
+        );
         let fd = match o {
             Outcome::Done { result, .. } => result.fd(),
             Outcome::Blocked => {
                 let (wakes, _) = pump(&mut k, d);
-                let WakeKind::Syscall(r) = &wakes[0].1 else { panic!() };
+                let WakeKind::Syscall(r) = &wakes[0].1 else {
+                    panic!()
+                };
                 r.clone().fd()
             }
         };
-        let (o, d) = k.syscall(10_000, 1, Syscall::ReadAt { fd, offset: 0, len: 3000 });
+        let (o, d) = k.syscall(
+            10_000,
+            1,
+            Syscall::ReadAt {
+                fd,
+                offset: 0,
+                len: 3000,
+            },
+        );
         assert!(matches!(o, Outcome::Blocked), "cold read must hit the disk");
         let (wakes, _) = pump(&mut k, d);
         assert_eq!(wakes.len(), 1);
-        let WakeKind::Syscall(SysResult::Data(data)) = &wakes[0].1 else { panic!() };
+        let WakeKind::Syscall(SysResult::Data(data)) = &wakes[0].1 else {
+            panic!()
+        };
         assert_eq!(data, &payload);
         // And the trace saw read requests.
         let recs = k.drain_trace();
@@ -1035,19 +1395,47 @@ mod tests {
         k.install_file("/image", Placement::User, &payload);
         k.register_process(1);
         let mut p = Pump::new(k);
-        let fd = p.sys(1, Syscall::Open { path: "/image".into(), create: false, placement: Placement::User }).fd();
+        let fd = p
+            .sys(
+                1,
+                Syscall::Open {
+                    path: "/image".into(),
+                    create: false,
+                    placement: Placement::User,
+                },
+            )
+            .fd();
         // Stream the file 1 KB at a time.
         for i in 0..160u64 {
-            let data = p.sys(1, Syscall::ReadAt { fd, offset: i * 1024, len: 1024 }).data();
+            let data = p
+                .sys(
+                    1,
+                    Syscall::ReadAt {
+                        fd,
+                        offset: i * 1024,
+                        len: 1024,
+                    },
+                )
+                .data();
             assert_eq!(data.len(), 1024);
         }
         let recs = p.k.drain_trace();
-        let reads: Vec<_> = recs.iter().filter(|r| r.op == Op::Read && r.origin == Origin::FileData).collect();
+        let reads: Vec<_> = recs
+            .iter()
+            .filter(|r| r.op == Op::Read && r.origin == Origin::FileData)
+            .collect();
         assert!(!reads.is_empty());
         let max_kib = reads.iter().map(|r| r.bytes()).max().unwrap() / 1024;
-        assert!(max_kib >= 8, "read-ahead must grow large requests, max {max_kib} KiB");
+        assert!(
+            max_kib >= 8,
+            "read-ahead must grow large requests, max {max_kib} KiB"
+        );
         // Far fewer physical reads than 1 KB syscalls.
-        assert!(reads.len() < 100, "{} physical reads for 160 KB streamed", reads.len());
+        assert!(
+            reads.len() < 100,
+            "{} physical reads for 160 KB streamed",
+            reads.len()
+        );
     }
 
     #[test]
@@ -1060,13 +1448,36 @@ mod tests {
         k.install_file("/image", Placement::User, &vec![1u8; 32 * 1024]);
         k.register_process(1);
         let mut p = Pump::new(k);
-        let fd = p.sys(1, Syscall::Open { path: "/image".into(), create: false, placement: Placement::User }).fd();
+        let fd = p
+            .sys(
+                1,
+                Syscall::Open {
+                    path: "/image".into(),
+                    create: false,
+                    placement: Placement::User,
+                },
+            )
+            .fd();
         for i in 0..32u64 {
-            p.sys(1, Syscall::ReadAt { fd, offset: i * 1024, len: 1024 });
+            p.sys(
+                1,
+                Syscall::ReadAt {
+                    fd,
+                    offset: i * 1024,
+                    len: 1024,
+                },
+            );
         }
         let recs = p.k.drain_trace();
-        let reads: Vec<_> = recs.iter().filter(|r| r.op == Op::Read && r.origin == Origin::FileData).collect();
-        assert_eq!(reads.len(), 32, "every block is its own request without read-ahead");
+        let reads: Vec<_> = recs
+            .iter()
+            .filter(|r| r.op == Op::Read && r.origin == Origin::FileData)
+            .collect();
+        assert_eq!(
+            reads.len(),
+            32,
+            "every block is its own request without read-ahead"
+        );
         assert!(reads.iter().all(|r| r.bytes() == 1024));
     }
 
@@ -1074,11 +1485,32 @@ mod tests {
     fn writes_are_asynchronous_and_flushed_by_update() {
         let mut k = kernel();
         k.register_process(1);
-        let (o, _) = k.syscall(0, 1, Syscall::Open { path: "/o".into(), create: true, placement: Placement::User });
-        let Outcome::Done { result, .. } = o else { panic!() };
+        let (o, _) = k.syscall(
+            0,
+            1,
+            Syscall::Open {
+                path: "/o".into(),
+                create: true,
+                placement: Placement::User,
+            },
+        );
+        let Outcome::Done { result, .. } = o else {
+            panic!()
+        };
         let fd = result.fd();
-        let (o, d) = k.syscall(1, 1, Syscall::WriteAt { fd, offset: 0, data: vec![9u8; 4096] });
-        assert!(matches!(o, Outcome::Done { .. }), "write-back write returns immediately");
+        let (o, d) = k.syscall(
+            1,
+            1,
+            Syscall::WriteAt {
+                fd,
+                offset: 0,
+                data: vec![9u8; 4096],
+            },
+        );
+        assert!(
+            matches!(o, Outcome::Done { .. }),
+            "write-back write returns immediately"
+        );
         assert!(d.is_none(), "no disk I/O yet");
         // update daemon flushes the dirty blocks.
         let (d, _next) = k.daemon_tick(5_000_000, DaemonKind::Update);
@@ -1088,24 +1520,51 @@ mod tests {
         let writes: Vec<_> = recs.iter().filter(|r| r.op == Op::Write).collect();
         assert!(!writes.is_empty());
         // Contiguous dirty data blocks merged into multi-KB physical writes.
-        assert!(writes.iter().any(|r| r.bytes() >= 2048), "flush should merge contiguous blocks");
+        assert!(
+            writes.iter().any(|r| r.bytes() >= 2048),
+            "flush should merge contiguous blocks"
+        );
     }
 
     #[test]
     fn fsync_blocks_until_file_blocks_are_on_disk() {
         let mut k = kernel();
         k.register_process(1);
-        let (o, _) = k.syscall(0, 1, Syscall::Open { path: "/o".into(), create: true, placement: Placement::User });
-        let Outcome::Done { result, .. } = o else { panic!() };
+        let (o, _) = k.syscall(
+            0,
+            1,
+            Syscall::Open {
+                path: "/o".into(),
+                create: true,
+                placement: Placement::User,
+            },
+        );
+        let Outcome::Done { result, .. } = o else {
+            panic!()
+        };
         let fd = result.fd();
-        k.syscall(1, 1, Syscall::WriteAt { fd, offset: 0, data: vec![9u8; 2048] });
+        k.syscall(
+            1,
+            1,
+            Syscall::WriteAt {
+                fd,
+                offset: 0,
+                data: vec![9u8; 2048],
+            },
+        );
         let (o, d) = k.syscall(2, 1, Syscall::Fsync { fd });
         assert!(matches!(o, Outcome::Blocked));
         let (wakes, _) = pump(&mut k, d);
         assert!(matches!(wakes[0].1, WakeKind::Syscall(SysResult::Unit)));
         // Second fsync: nothing dirty → immediate.
         let (o, d) = k.syscall(100_000, 1, Syscall::Fsync { fd });
-        assert!(matches!(o, Outcome::Done { result: SysResult::Unit, .. }));
+        assert!(matches!(
+            o,
+            Outcome::Done {
+                result: SysResult::Unit,
+                ..
+            }
+        ));
         assert!(d.is_none());
     }
 
@@ -1114,10 +1573,14 @@ mod tests {
         let mut k = kernel();
         k.register_process(1);
         let (o, _) = k.syscall(0, 1, Syscall::MapAnon { pages: 4 });
-        let Outcome::Done { result, .. } = o else { panic!() };
+        let Outcome::Done { result, .. } = o else {
+            panic!()
+        };
         let (base, _) = result.mapped();
         let (o, d) = k.touches(10, 1, vec![base, base + 1, base + 2]);
-        let TouchOutcome::Done { cpu_us } = o else { panic!("zero-fill needs no I/O") };
+        let TouchOutcome::Done { cpu_us } = o else {
+            panic!("zero-fill needs no I/O")
+        };
         assert_eq!(cpu_us, 3 * 300);
         assert!(d.is_none());
     }
@@ -1127,12 +1590,23 @@ mod tests {
         let mut k = kernel();
         k.install_file("/bin/app", Placement::User, &vec![0x90u8; 20 * 1024]);
         k.register_process(1);
-        let (o, _) = k.syscall(0, 1, Syscall::MapText { path: "/bin/app".into() });
-        let Outcome::Done { result, .. } = o else { panic!() };
+        let (o, _) = k.syscall(
+            0,
+            1,
+            Syscall::MapText {
+                path: "/bin/app".into(),
+            },
+        );
+        let Outcome::Done { result, .. } = o else {
+            panic!()
+        };
         let (base, pages) = result.mapped();
         assert_eq!(pages, 5);
         let (o, d) = k.touches(10, 1, vec![base]);
-        assert!(matches!(o, TouchOutcome::Blocked), "text page-in hits the disk");
+        assert!(
+            matches!(o, TouchOutcome::Blocked),
+            "text page-in hits the disk"
+        );
         let (wakes, _) = pump(&mut k, d);
         assert!(matches!(wakes[0].1, WakeKind::TouchDone { .. }));
         let recs = k.drain_trace();
@@ -1159,14 +1633,25 @@ mod tests {
             }
         }
         let recs = p.k.drain_trace();
-        let swap_outs: Vec<_> = recs.iter().filter(|r| r.origin == Origin::SwapOut).collect();
+        let swap_outs: Vec<_> = recs
+            .iter()
+            .filter(|r| r.origin == Origin::SwapOut)
+            .collect();
         let swap_ins: Vec<_> = recs.iter().filter(|r| r.origin == Origin::SwapIn).collect();
         assert!(!swap_outs.is_empty());
         assert!(!swap_ins.is_empty());
         for r in swap_outs.iter().chain(swap_ins.iter()) {
             assert_eq!(r.bytes(), 4096, "swap I/O is the 4 KB class");
-            assert!((300_000..400_000).contains(&r.sector), "swap area, sector {}", r.sector);
-            assert!(r.sector >= 399_000, "hot slots just under 400,000, got {}", r.sector);
+            assert!(
+                (300_000..400_000).contains(&r.sector),
+                "swap area, sector {}",
+                r.sector
+            );
+            assert!(
+                r.sector >= 399_000,
+                "hot slots just under 400,000, got {}",
+                r.sector
+            );
         }
     }
 
@@ -1212,12 +1697,21 @@ mod tests {
         }
         let recs = k.drain_trace();
         assert!(!recs.is_empty(), "daemons must generate traffic");
-        assert!(recs.iter().all(|r| r.op == Op::Write), "baseline is write-only");
-        let low = recs.iter().filter(|r| (40_000..60_000).contains(&r.sector)).count();
+        assert!(
+            recs.iter().all(|r| r.op == Op::Write),
+            "baseline is write-only"
+        );
+        let low = recs
+            .iter()
+            .filter(|r| (40_000..60_000).contains(&r.sector))
+            .count();
         let high = recs.iter().filter(|r| r.sector >= 940_000).count();
         // Block-group metadata (the log file's inode) lands near sector
         // 45,000 — the paper's hottest location.
-        let group_meta = recs.iter().filter(|r| (45_000..45_300).contains(&r.sector)).count();
+        let group_meta = recs
+            .iter()
+            .filter(|r| (45_000..45_300).contains(&r.sector))
+            .count();
         assert!(low > 0, "log-region writes expected");
         assert!(high > 0, "high-region writes expected");
         assert!(group_meta > 0, "log block-group metadata writes expected");
@@ -1231,8 +1725,16 @@ mod tests {
         let mut k = kernel();
         k.install_file("/bin/app", Placement::User, &vec![0u8; 8 * 1024]);
         k.register_process(1);
-        let (o, _) = k.syscall(0, 1, Syscall::MapText { path: "/bin/app".into() });
-        let Outcome::Done { result, .. } = o else { panic!() };
+        let (o, _) = k.syscall(
+            0,
+            1,
+            Syscall::MapText {
+                path: "/bin/app".into(),
+            },
+        );
+        let Outcome::Done { result, .. } = o else {
+            panic!()
+        };
         let (base, _) = result.mapped();
         let (o, d) = k.touches(1, 1, vec![base]);
         assert!(matches!(o, TouchOutcome::Blocked));
@@ -1246,11 +1748,23 @@ mod tests {
     fn unknown_fd_errors() {
         let mut k = kernel();
         k.register_process(1);
-        let (o, _) = k.syscall(0, 1, Syscall::ReadAt { fd: 99, offset: 0, len: 10 });
-        let Outcome::Done { result, .. } = o else { panic!() };
+        let (o, _) = k.syscall(
+            0,
+            1,
+            Syscall::ReadAt {
+                fd: 99,
+                offset: 0,
+                len: 10,
+            },
+        );
+        let Outcome::Done { result, .. } = o else {
+            panic!()
+        };
         assert_eq!(result, SysResult::Err(SysError::BadFd));
         let (o, _) = k.syscall(0, 1, Syscall::Close { fd: 99 });
-        let Outcome::Done { result, .. } = o else { panic!() };
+        let Outcome::Done { result, .. } = o else {
+            panic!()
+        };
         assert_eq!(result, SysResult::Err(SysError::BadFd));
     }
 
@@ -1258,10 +1772,28 @@ mod tests {
     fn sync_flushes_everything() {
         let mut k = kernel();
         k.register_process(1);
-        let (o, _) = k.syscall(0, 1, Syscall::Open { path: "/a".into(), create: true, placement: Placement::User });
-        let Outcome::Done { result, .. } = o else { panic!() };
+        let (o, _) = k.syscall(
+            0,
+            1,
+            Syscall::Open {
+                path: "/a".into(),
+                create: true,
+                placement: Placement::User,
+            },
+        );
+        let Outcome::Done { result, .. } = o else {
+            panic!()
+        };
         let fd = result.fd();
-        k.syscall(1, 1, Syscall::WriteAt { fd, offset: 0, data: vec![1u8; 3072] });
+        k.syscall(
+            1,
+            1,
+            Syscall::WriteAt {
+                fd,
+                offset: 0,
+                data: vec![1u8; 3072],
+            },
+        );
         let (o, d) = k.syscall(2, 1, Syscall::Sync);
         assert!(matches!(o, Outcome::Blocked));
         let (wakes, _) = pump(&mut k, d);

@@ -54,7 +54,11 @@ impl Default for ReadAhead {
 impl ReadAhead {
     /// Fresh state: no history, minimal window.
     pub fn new() -> Self {
-        Self { expected_offset: 0, window: 1, frontier: 0 }
+        Self {
+            expected_offset: 0,
+            window: 1,
+            frontier: 0,
+        }
     }
 
     /// Record a read of `len` bytes at `offset`. Returns a [`Prefetch`]
@@ -130,7 +134,10 @@ mod tests {
             assert_eq!(p.start, expected_start, "contiguous tiling");
             expected_start = p.start + p.blocks as u64 * 1024;
         }
-        assert!(expected_start >= 64 * 1024, "frontier stays ahead of the reader");
+        assert!(
+            expected_start >= 64 * 1024,
+            "frontier stays ahead of the reader"
+        );
     }
 
     #[test]
@@ -150,7 +157,9 @@ mod tests {
     #[test]
     fn first_read_at_zero_counts_as_sequential() {
         let mut ra = ReadAhead::new();
-        let p = ra.on_read(0, 4096, WINDOW_CAP).expect("prefetch after first read");
+        let p = ra
+            .on_read(0, 4096, WINDOW_CAP)
+            .expect("prefetch after first read");
         assert_eq!(p.start, 4096);
         assert_eq!(p.blocks, 2);
     }
@@ -171,7 +180,10 @@ mod tests {
         assert_eq!(ReadAhead::cap_for(3), WINDOW_CAP_BOOSTED);
         let mut ra = ReadAhead::new();
         let orders = stream(&mut ra, 128, WINDOW_CAP_BOOSTED);
-        assert!(orders.iter().any(|p| p.blocks == 32), "32 KB windows under boost");
+        assert!(
+            orders.iter().any(|p| p.blocks == 32),
+            "32 KB windows under boost"
+        );
     }
 
     #[test]

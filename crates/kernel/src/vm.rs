@@ -182,10 +182,11 @@ impl Vm {
         assert!(pages > 0, "zero-page mapping");
         let base = *self.next_base.entry(pid).or_insert(0x10);
         self.next_base.insert(pid, base + pages as Vpn + 8); // guard gap
-        self.segments
-            .entry(pid)
-            .or_default()
-            .push(Segment { base, pages, text_ino });
+        self.segments.entry(pid).or_default().push(Segment {
+            base,
+            pages,
+            text_ino,
+        });
         base
     }
 
@@ -233,7 +234,13 @@ impl Vm {
             FaultIo::SwapIn { .. } => self.stats.swap_ins += 1,
             FaultIo::PageIn { .. } => self.stats.page_ins += 1,
         }
-        self.resident.insert((pid, vpn), Resident { kind, referenced: true });
+        self.resident.insert(
+            (pid, vpn),
+            Resident {
+                kind,
+                referenced: true,
+            },
+        );
         self.clock.push_back((pid, vpn));
         TouchResult::Fault { io, swap_outs }
     }
@@ -271,7 +278,13 @@ impl Vm {
                             }
                             None => {
                                 // Swap full: put the page back; caller sees OOM.
-                                self.resident.insert((pid, vpn), Resident { kind, referenced: false });
+                                self.resident.insert(
+                                    (pid, vpn),
+                                    Resident {
+                                        kind,
+                                        referenced: false,
+                                    },
+                                );
                                 self.clock.push_back((pid, vpn));
                                 return None;
                             }
@@ -342,7 +355,10 @@ mod tests {
         let mut v = vm(10);
         let base = v.map_anon(1, 4);
         match v.touch(1, base) {
-            TouchResult::Fault { io: FaultIo::None, swap_outs } => assert!(swap_outs.is_empty()),
+            TouchResult::Fault {
+                io: FaultIo::None,
+                swap_outs,
+            } => assert!(swap_outs.is_empty()),
             other => panic!("expected zero-fill fault, got {other:?}"),
         }
         assert_eq!(v.touch(1, base), TouchResult::Hit);
@@ -355,7 +371,10 @@ mod tests {
         let mut v = vm(10);
         let base = v.map_text(1, 42, 8);
         match v.touch(1, base + 3) {
-            TouchResult::Fault { io: FaultIo::PageIn { ino, page }, .. } => {
+            TouchResult::Fault {
+                io: FaultIo::PageIn { ino, page },
+                ..
+            } => {
                 assert_eq!(ino, 42);
                 assert_eq!(page, 3);
             }
@@ -368,7 +387,11 @@ mod tests {
         let mut v = vm(10);
         v.map_anon(1, 2);
         assert_eq!(v.touch(1, 9999), TouchResult::BadAddress);
-        assert_eq!(v.touch(2, 0x10), TouchResult::BadAddress, "other pid has no mapping");
+        assert_eq!(
+            v.touch(2, 0x10),
+            TouchResult::BadAddress,
+            "other pid has no mapping"
+        );
     }
 
     #[test]
@@ -380,7 +403,11 @@ mod tests {
         // Third page forces an eviction. All pages referenced → clock clears
         // bits on the first pass, evicts `base` on the second.
         let r = v.touch(1, base + 2);
-        let TouchResult::Fault { io: FaultIo::None, swap_outs } = r else {
+        let TouchResult::Fault {
+            io: FaultIo::None,
+            swap_outs,
+        } = r
+        else {
             panic!("{r:?}")
         };
         assert_eq!(swap_outs.len(), 1);
@@ -390,7 +417,10 @@ mod tests {
         let evicted_vpn = base; // FIFO clock after bit clearing
         let r = v.touch(1, evicted_vpn);
         match r {
-            TouchResult::Fault { io: FaultIo::SwapIn { slot: s }, .. } => assert_eq!(s, slot),
+            TouchResult::Fault {
+                io: FaultIo::SwapIn { slot: s },
+                ..
+            } => assert_eq!(s, slot),
             other => panic!("{other:?}"),
         }
         assert_eq!(v.stats.swap_ins, 1);
@@ -412,7 +442,9 @@ mod tests {
         v.touch(1, t);
         v.touch(1, t + 1);
         let r = v.touch(1, t + 2);
-        let TouchResult::Fault { swap_outs, .. } = r else { panic!() };
+        let TouchResult::Fault { swap_outs, .. } = r else {
+            panic!()
+        };
         assert!(swap_outs.is_empty(), "text eviction writes nothing");
         assert_eq!(v.stats.text_drops, 1);
     }
@@ -427,7 +459,11 @@ mod tests {
         // bit-clearing sweep the victim is still the older page `base`.
         v.touch(1, base + 1);
         v.touch(1, base + 2); // evicts base (not base+1)
-        assert_eq!(v.touch(1, base + 1), TouchResult::Hit, "recently used page survived");
+        assert_eq!(
+            v.touch(1, base + 1),
+            TouchResult::Hit,
+            "recently used page survived"
+        );
     }
 
     #[test]
@@ -465,14 +501,20 @@ mod tests {
         let mut v = vm(1);
         let base = v.map_anon(1, 2);
         v.touch(1, base);
-        let TouchResult::Fault { swap_outs, .. } = v.touch(1, base + 1) else { panic!() };
+        let TouchResult::Fault { swap_outs, .. } = v.touch(1, base + 1) else {
+            panic!()
+        };
         let slot = swap_outs[0];
         // Fault base back in: evicts base+1, which gets the *next* slot.
-        let TouchResult::Fault { io, swap_outs } = v.touch(1, base) else { panic!() };
+        let TouchResult::Fault { io, swap_outs } = v.touch(1, base) else {
+            panic!()
+        };
         assert_eq!(io, FaultIo::SwapIn { slot });
         assert_eq!(swap_outs, vec![slot + 1]);
         // Fault base+1 back: evicting base must *reuse* its original slot.
-        let TouchResult::Fault { io, swap_outs } = v.touch(1, base + 1) else { panic!() };
+        let TouchResult::Fault { io, swap_outs } = v.touch(1, base + 1) else {
+            panic!()
+        };
         assert_eq!(io, FaultIo::SwapIn { slot: slot + 1 });
         assert_eq!(swap_outs, vec![slot], "slot reused, not leaked");
         assert_eq!(v.stats.swap_outs, 3);

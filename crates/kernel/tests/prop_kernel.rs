@@ -1,3 +1,5 @@
+#![cfg(feature = "proptests")]
+
 //! Property tests over the kernel substrate: the filesystem must never lose
 //! or corrupt data under arbitrary write patterns, the buffer cache must
 //! conserve dirty blocks, and the VM must never lose a page or leak a
@@ -26,7 +28,11 @@ fn write_ops() -> impl Strategy<Value = Vec<WriteOp>> {
         (0u64..40_000, prop::collection::vec(any::<u8>(), 1..4000)),
         1..12,
     )
-    .prop_map(|v| v.into_iter().map(|(offset, data)| WriteOp { offset, data }).collect())
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(offset, data)| WriteOp { offset, data })
+            .collect()
+    })
 }
 
 proptest! {

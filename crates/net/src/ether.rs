@@ -44,7 +44,13 @@ impl Ethernet {
     pub fn new(cfg: NetConfig) -> Self {
         assert!(cfg.channels > 0 && cfg.bandwidth_bps > 0);
         let next_free = vec![0; cfg.channels];
-        Self { cfg, next_free, rr: 0, messages: 0, bytes: 0 }
+        Self {
+            cfg,
+            next_free,
+            rr: 0,
+            messages: 0,
+            bytes: 0,
+        }
     }
 
     /// Transmit `payload_bytes` starting no earlier than `now`; returns the
@@ -113,7 +119,10 @@ mod tests {
 
     #[test]
     fn channel_queueing_is_fifo_in_time() {
-        let cfg = NetConfig { channels: 1, ..Default::default() };
+        let cfg = NetConfig {
+            channels: 1,
+            ..Default::default()
+        };
         let mut e = Ethernet::new(cfg);
         let a = e.transmit(0, 50_000);
         let b = e.transmit(10, 50_000);

@@ -137,11 +137,16 @@ impl Pvm {
     }
 
     fn matches(wait: &RecvWait, msg: &Message) -> bool {
-        wait.from.map_or(true, |f| f == msg.from) && wait.tag.map_or(true, |t| t == msg.tag)
+        wait.from.is_none_or(|f| f == msg.from) && wait.tag.is_none_or(|t| t == msg.tag)
     }
 
     /// Blocking receive: returns a queued matching message, or parks `task`.
-    pub fn recv(&mut self, task: TaskId, from: Option<TaskId>, tag: Option<i32>) -> Option<Message> {
+    pub fn recv(
+        &mut self,
+        task: TaskId,
+        from: Option<TaskId>,
+        tag: Option<i32>,
+    ) -> Option<Message> {
         let wait = RecvWait { from, tag };
         if let Some(q) = self.mailboxes.get_mut(&task) {
             if let Some(pos) = q.iter().position(|m| Self::matches(&wait, m)) {
@@ -157,7 +162,10 @@ impl Pvm {
     pub fn barrier(&mut self, task: TaskId, group: u32, n: u32) -> BarrierOutcome {
         assert!(n > 0);
         let arrived = self.barriers.entry(group).or_default();
-        assert!(!arrived.contains(&task), "task {task} arrived twice at barrier {group}");
+        assert!(
+            !arrived.contains(&task),
+            "task {task} arrived twice at barrier {group}"
+        );
         arrived.push(task);
         if arrived.len() as u32 >= n {
             let mut tasks = self.barriers.remove(&group).expect("just inserted");
@@ -188,7 +196,12 @@ mod tests {
     }
 
     fn msg(from: TaskId, to: TaskId, tag: i32) -> Message {
-        Message { from, to, tag, data: vec![1, 2, 3] }
+        Message {
+            from,
+            to,
+            tag,
+            data: vec![1, 2, 3],
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub fn plan_io(spec: &StripeSpec, offset: u64, len: u32) -> Vec<SegmentIo> {
     while g < end {
         let stripe = g / unit;
         let within = g % unit;
-        let take = ((unit - within) as u64).min(end - g) as u32;
+        let take = (unit - within).min(end - g) as u32;
         let server = spec.servers[(stripe % n) as usize];
         let local = (stripe / n) * unit + within;
         if let Some(last) = out.last_mut() {
@@ -80,7 +80,11 @@ pub fn plan_io(spec: &StripeSpec, offset: u64, len: u32) -> Vec<SegmentIo> {
                 continue;
             }
         }
-        out.push(SegmentIo { server, offset: local, len: take });
+        out.push(SegmentIo {
+            server,
+            offset: local,
+            len: take,
+        });
         g += take as u64;
     }
     out
@@ -106,7 +110,10 @@ impl Registry {
     /// Declare a parafile. Re-declaration with a different layout is a bug.
     pub fn declare(&mut self, name: &str, spec: StripeSpec) {
         if let Some(existing) = self.files.get(name) {
-            assert_eq!(existing, &spec, "parafile {name} re-declared with a different layout");
+            assert_eq!(
+                existing, &spec,
+                "parafile {name} re-declared with a different layout"
+            );
             return;
         }
         self.files.insert(name.to_string(), spec);
@@ -192,7 +199,14 @@ mod tests {
     #[test]
     fn single_unit_maps_to_one_server() {
         let plan = plan_io(&spec3(), 0, 1024);
-        assert_eq!(plan, vec![SegmentIo { server: 0, offset: 0, len: 1024 }]);
+        assert_eq!(
+            plan,
+            vec![SegmentIo {
+                server: 0,
+                offset: 0,
+                len: 1024
+            }]
+        );
     }
 
     #[test]
@@ -208,7 +222,14 @@ mod tests {
     #[test]
     fn second_round_lands_deeper_in_segments() {
         let plan = plan_io(&spec3(), 3 * 1024, 1024);
-        assert_eq!(plan, vec![SegmentIo { server: 0, offset: 1024, len: 1024 }]);
+        assert_eq!(
+            plan,
+            vec![SegmentIo {
+                server: 0,
+                offset: 1024,
+                len: 1024
+            }]
+        );
     }
 
     #[test]
@@ -219,9 +240,21 @@ mod tests {
         assert_eq!(
             plan,
             vec![
-                SegmentIo { server: 0, offset: 512, len: 512 },
-                SegmentIo { server: 1, offset: 0, len: 1024 },
-                SegmentIo { server: 2, offset: 0, len: 512 },
+                SegmentIo {
+                    server: 0,
+                    offset: 512,
+                    len: 512
+                },
+                SegmentIo {
+                    server: 1,
+                    offset: 0,
+                    len: 1024
+                },
+                SegmentIo {
+                    server: 2,
+                    offset: 0,
+                    len: 512
+                },
             ]
         );
     }
@@ -230,7 +263,14 @@ mod tests {
     fn adjacent_stripes_on_same_server_coalesce() {
         let one = StripeSpec::new(1024, vec![7]);
         let plan = plan_io(&one, 0, 10 * 1024);
-        assert_eq!(plan, vec![SegmentIo { server: 7, offset: 0, len: 10 * 1024 }]);
+        assert_eq!(
+            plan,
+            vec![SegmentIo {
+                server: 7,
+                offset: 0,
+                len: 10 * 1024
+            }]
+        );
     }
 
     #[test]
@@ -245,7 +285,9 @@ mod tests {
         let spec = StripeSpec::new(700, vec![0, 1, 2, 3, 4]);
         let mut state = 99u64;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let offset = (state >> 40) % 100_000;
             let len = ((state >> 20) % 50_000) as u32 + 1;
             let plan = plan_io(&spec, offset, len);
@@ -286,7 +328,11 @@ mod tests {
         let mut c = Coordinator::new();
         assert_eq!(c.begin("f", 1), Admission::Admitted);
         assert_eq!(c.begin("f", 2), Admission::Queued);
-        assert_eq!(c.begin("g", 3), Admission::Admitted, "other files are independent");
+        assert_eq!(
+            c.begin("g", 3),
+            Admission::Admitted,
+            "other files are independent"
+        );
         assert_eq!(c.finish("f", 1), Some(2));
         assert_eq!(c.finish("f", 2), None);
         assert_eq!(c.depth("f"), 0);

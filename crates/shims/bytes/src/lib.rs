@@ -1,0 +1,241 @@
+//! Offline drop-in subset of the `bytes` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the minimal API surface it actually uses: [`BytesMut`] as a growable
+//! write buffer, [`Bytes`] as a cheaply clonable frozen buffer, and the
+//! little-endian cursor methods of [`Buf`]/[`BufMut`]. Semantics match the
+//! real crate for this subset; anything beyond it is intentionally absent.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read cursor over a byte source; implemented for `&[u8]`, where every
+/// `get_*` consumes from the front of the slice.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consume `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Borrow the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write cursor; implemented for [`BytesMut`] and `Vec<u8>`.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Convert into an immutable, cheaply clonable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::new(self.vec),
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Immutable shared byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self {
+            data: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Copy a slice into an owned buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self {
+            data: Arc::new(src.to_vec()),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Self {
+        Self {
+            data: Arc::new(vec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_little_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64_le(0xDEAD_BEEF_0102_0304);
+        b.put_u32_le(7);
+        b.put_u16_le(300);
+        b.put_u8(9);
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_0102_0304);
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_u8(), 9);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let data = [1u8, 2, 3];
+        let mut r: &[u8] = &data;
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.chunk(), &[2, 3]);
+    }
+}

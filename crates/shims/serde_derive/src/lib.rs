@@ -1,0 +1,220 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Companion to the vendored `serde` shim: derives its value-tree
+//! `Serialize`/`Deserialize` traits for the two shapes this workspace
+//! serializes — structs with named fields and enums whose variants are all
+//! unit variants (explicit discriminants like `Unknown = 0` are allowed and
+//! ignored; serialization is by variant *name*, matching serde's external
+//! representation for unit variants).
+//!
+//! No `syn`/`quote`: the input item is parsed directly from the
+//! `proc_macro` token stream (only names are needed — field types are left
+//! to inference in the generated code) and the impl is emitted as a string.
+//! Field attributes like `#[serde(...)]` are not interpreted; the workspace
+//! does not use any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Derive `serde::Serialize` (value-tree shim flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let mut out = String::new();
+    let name = shape.name();
+    let _ = write!(
+        out,
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n"
+    );
+    match &shape {
+        Shape::Struct { fields, .. } => {
+            out.push_str("        ::serde::Value::Object(vec![\n");
+            for f in fields {
+                let _ = writeln!(
+                    out,
+                    "            (\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            out.push_str("        ])\n");
+        }
+        Shape::Enum { variants, .. } => {
+            out.push_str("        ::serde::Value::String(String::from(match self {\n");
+            for v in variants {
+                let _ = writeln!(out, "            {name}::{v} => \"{v}\",");
+            }
+            out.push_str("        }))\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree shim flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let mut out = String::new();
+    let name = shape.name();
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n"
+    );
+    match &shape {
+        Shape::Struct { fields, .. } => {
+            let _ = write!(
+                out,
+                "        let fields = v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n        Ok({name} {{\n"
+            );
+            for f in fields {
+                let _ = writeln!(
+                    out,
+                    "            {f}: ::serde::Deserialize::from_value(::serde::field(fields, \"{f}\")?)?,"
+                );
+            }
+            out.push_str("        })\n");
+        }
+        Shape::Enum { variants, .. } => {
+            out.push_str("        match v.as_str() {\n");
+            for v in variants {
+                let _ = writeln!(out, "            Some(\"{v}\") => Ok({name}::{v}),");
+            }
+            let _ = write!(
+                out,
+                "            Some(other) => Err(::serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n            None => Err(::serde::DeError::new(\"expected string for {name}\")),\n        }}\n"
+            );
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+impl Shape {
+    fn name(&self) -> &str {
+        match self {
+            Shape::Struct { name, .. } | Shape::Enum { name, .. } => name,
+        }
+    }
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip any run of outer attributes (`#[...]`, including doc comments) and
+/// a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(iter: &mut Tokens) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected a type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim: `{name}` must have a braced body (named-field struct or unit enum), found {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        },
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected a field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{field}`, found {other:?}")
+            }
+        }
+        fields.push(field);
+        // Skip the field's type: everything up to the next comma that is not
+        // nested inside angle brackets (e.g. the comma in `BTreeMap<u32, u64>`).
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let variant = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected a variant name, found {other:?}"),
+        };
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            panic!(
+                "serde_derive shim: variant `{variant}` carries data ({:?} group); only unit variants are supported",
+                g.delimiter()
+            );
+        }
+        variants.push(variant);
+        // Skip an optional explicit discriminant (`= 3`) up to the comma.
+        for tok in iter.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}

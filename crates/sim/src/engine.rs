@@ -104,11 +104,19 @@ impl<E> Engine<E> {
     /// builds the event is clamped to `now` so a long simulation degrades
     /// rather than wedges.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
-        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Entry { time: at, seq, payload }));
+        self.queue.push(Reverse(Entry {
+            time: at,
+            seq,
+            payload,
+        }));
         self.live.insert(seq);
         EventId(seq)
     }
@@ -288,7 +296,7 @@ mod tests {
             if n < 1000 {
                 // Re-schedule two children with pseudo-random offsets.
                 e.schedule_in(v % 7 + 1, v.wrapping_mul(2).wrapping_add(1));
-                if n % 3 == 0 {
+                if n.is_multiple_of(3) {
                     e.schedule_in(v % 3, v.wrapping_mul(2).wrapping_add(2));
                 }
                 // Keep the queue bounded.

@@ -23,7 +23,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
-use crossbeam_channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use crate::time::SimTime;
 
@@ -75,13 +75,16 @@ pub struct ProcConfig {
 
 impl Default for ProcConfig {
     fn default() -> Self {
-        Self { compute_flush_us: 10_000, touch_flush: 4096 }
+        Self {
+            compute_flush_us: 10_000,
+            touch_flush: 4096,
+        }
     }
 }
 
 /// The process side of the rendezvous: passed to the workload body.
 pub struct ProcCtx<Req, Resp> {
-    to_engine: Sender<ProcMsg<Req>>,
+    to_engine: SyncSender<ProcMsg<Req>>,
     from_engine: Receiver<Resume<Resp>>,
     now: SimTime,
     pending_compute: u64,
@@ -172,7 +175,7 @@ impl<Req, Resp> ProcCtx<Req, Resp> {
 /// Engine-side handle to a hosted process thread.
 pub struct ProcessHost<Req, Resp> {
     name: String,
-    to_proc: Option<Sender<Resume<Resp>>>,
+    to_proc: Option<SyncSender<Resume<Resp>>>,
     from_proc: Receiver<ProcMsg<Req>>,
     handle: Option<JoinHandle<()>>,
     finished: bool,
@@ -186,8 +189,8 @@ impl<Req: Send + 'static, Resp: Send + 'static> ProcessHost<Req, Resp> {
         F: FnOnce(&mut ProcCtx<Req, Resp>) -> i32 + Send + 'static,
     {
         let name = name.into();
-        let (to_proc, from_engine) = bounded::<Resume<Resp>>(0);
-        let (to_engine, from_proc) = bounded::<ProcMsg<Req>>(0);
+        let (to_proc, from_engine) = sync_channel::<Resume<Resp>>(0);
+        let (to_engine, from_proc) = sync_channel::<ProcMsg<Req>>(0);
         let thread_name = format!("sim-proc-{name}");
         let handle = std::thread::Builder::new()
             .name(thread_name)
@@ -219,13 +222,27 @@ impl<Req: Send + 'static, Resp: Send + 'static> ProcessHost<Req, Resp> {
                 };
                 // Flush any trailing compute so totals balance, then exit.
                 let micros = std::mem::take(&mut ctx.pending_compute);
-                if micros > 0 && ctx.to_engine.send(ProcMsg::Compute { micros, touches: Vec::new() }).is_ok() {
+                if micros > 0
+                    && ctx
+                        .to_engine
+                        .send(ProcMsg::Compute {
+                            micros,
+                            touches: Vec::new(),
+                        })
+                        .is_ok()
+                {
                     let _ = ctx.from_engine.recv();
                 }
                 let _ = ctx.to_engine.send(ProcMsg::Exit { code, touches });
             })
             .expect("spawning a simulation process thread");
-        Self { name, to_proc: Some(to_proc), from_proc, handle: Some(handle), finished: false }
+        Self {
+            name,
+            to_proc: Some(to_proc),
+            from_proc,
+            handle: Some(handle),
+            finished: false,
+        }
     }
 
     /// Process name (diagnostics).
@@ -272,7 +289,10 @@ impl<Req: Send + 'static, Resp: Send + 'static> ProcessHost<Req, Resp> {
                 // Thread terminated without an Exit message (can only happen
                 // if the body thread was killed externally). Synthesize one.
                 self.finished = true;
-                ProcMsg::Exit { code: 102, touches: Vec::new() }
+                ProcMsg::Exit {
+                    code: 102,
+                    touches: Vec::new(),
+                }
             }
         }
     }
@@ -297,10 +317,17 @@ mod tests {
 
     #[test]
     fn simple_lifecycle_compute_then_exit() {
-        let mut host = Host::spawn("t", ProcConfig { compute_flush_us: 100, touch_flush: 64 }, |ctx| {
-            ctx.compute(250); // crosses the 100 µs threshold twice
-            7
-        });
+        let mut host = Host::spawn(
+            "t",
+            ProcConfig {
+                compute_flush_us: 100,
+                touch_flush: 64,
+            },
+            |ctx| {
+                ctx.compute(250); // crosses the 100 µs threshold twice
+                7
+            },
+        );
         let mut msgs = Vec::new();
         let mut msg = host.start(0);
         loop {
@@ -329,13 +356,19 @@ mod tests {
             (a + b) as i32
         });
         let msg = host.start(0);
-        let ProcMsg::Request { call, .. } = msg else { panic!("expected request, got {msg:?}") };
+        let ProcMsg::Request { call, .. } = msg else {
+            panic!("expected request, got {msg:?}")
+        };
         assert_eq!(call, 10);
         let msg = host.resume(5, 100);
-        let ProcMsg::Request { call, .. } = msg else { panic!("expected request") };
+        let ProcMsg::Request { call, .. } = msg else {
+            panic!("expected request")
+        };
         assert_eq!(call, 100);
         let msg = host.resume(9, 1);
-        let ProcMsg::Exit { code, .. } = msg else { panic!("expected exit") };
+        let ProcMsg::Exit { code, .. } = msg else {
+            panic!("expected exit")
+        };
         assert_eq!(code, 101); // a = 100, b = 1
     }
 
@@ -343,7 +376,10 @@ mod tests {
     fn compute_is_billed_before_request() {
         let mut host = Host::spawn(
             "t",
-            ProcConfig { compute_flush_us: 1_000_000, touch_flush: 64 },
+            ProcConfig {
+                compute_flush_us: 1_000_000,
+                touch_flush: 64,
+            },
             |ctx| {
                 ctx.compute(42);
                 ctx.request(1);
@@ -351,7 +387,9 @@ mod tests {
             },
         );
         let msg = host.start(0);
-        let ProcMsg::Compute { micros, .. } = msg else { panic!("compute should flush first, got {msg:?}") };
+        let ProcMsg::Compute { micros, .. } = msg else {
+            panic!("compute should flush first, got {msg:?}")
+        };
         assert_eq!(micros, 42);
         let msg = host.resume_compute(42);
         assert!(matches!(msg, ProcMsg::Request { call: 1, .. }));
@@ -370,27 +408,42 @@ mod tests {
             0
         });
         let msg = host.start(0);
-        let ProcMsg::Request { touches, .. } = msg else { panic!("expected request") };
+        let ProcMsg::Request { touches, .. } = msg else {
+            panic!("expected request")
+        };
         assert_eq!(touches, vec![1, 2, 1]);
         host.resume(0, 0);
     }
 
     #[test]
     fn touch_flush_threshold_forces_yield() {
-        let mut host = Host::spawn("t", ProcConfig { compute_flush_us: u64::MAX, touch_flush: 8 }, |ctx| {
-            for i in 0..20 {
-                ctx.touch(i);
-            }
-            0
-        });
+        let mut host = Host::spawn(
+            "t",
+            ProcConfig {
+                compute_flush_us: u64::MAX,
+                touch_flush: 8,
+            },
+            |ctx| {
+                for i in 0..20 {
+                    ctx.touch(i);
+                }
+                0
+            },
+        );
         let msg = host.start(0);
-        let ProcMsg::Compute { touches, .. } = msg else { panic!("expected flush, got {msg:?}") };
+        let ProcMsg::Compute { touches, .. } = msg else {
+            panic!("expected flush, got {msg:?}")
+        };
         assert_eq!(touches.len(), 8);
         let msg = host.resume_compute(0);
-        let ProcMsg::Compute { touches, .. } = msg else { panic!() };
+        let ProcMsg::Compute { touches, .. } = msg else {
+            panic!()
+        };
         assert_eq!(touches.len(), 8);
         let msg = host.resume_compute(0);
-        let ProcMsg::Exit { touches, .. } = msg else { panic!("expected exit with tail touches, got {msg:?}") };
+        let ProcMsg::Exit { touches, .. } = msg else {
+            panic!("expected exit with tail touches, got {msg:?}")
+        };
         assert_eq!(touches.len(), 4);
     }
 
@@ -412,7 +465,9 @@ mod tests {
     fn panicking_body_reports_exit_code_101() {
         let mut host = Host::spawn("t", ProcConfig::default(), |_ctx| panic!("app crashed"));
         let msg = host.start(0);
-        let ProcMsg::Exit { code, .. } = msg else { panic!("expected exit") };
+        let ProcMsg::Exit { code, .. } = msg else {
+            panic!("expected exit")
+        };
         assert_eq!(code, 101);
     }
 

@@ -184,7 +184,10 @@ mod tests {
         }
         let expect = n as f64 / 8.0;
         for c in counts {
-            assert!((c as f64 - expect).abs() < expect * 0.1, "counts {counts:?}");
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "counts {counts:?}"
+            );
         }
     }
 
@@ -194,7 +197,11 @@ mod tests {
         let n = 200_000;
         let mean = 3.5;
         let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
-        assert!((sum / n as f64 - mean).abs() < 0.05, "sample mean {}", sum / n as f64);
+        assert!(
+            (sum / n as f64 - mean).abs() < 0.05,
+            "sample mean {}",
+            sum / n as f64
+        );
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![cfg(feature = "proptests")]
+
 //! Property tests over the event engine: total order, FIFO tie-break,
 //! cancellation soundness, and clock monotonicity under arbitrary
 //! schedule/cancel/pop interleavings.

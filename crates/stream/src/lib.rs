@@ -1,0 +1,55 @@
+//! Online, mergeable, bounded-memory trace analytics.
+//!
+//! The batch pipeline in `essio-trace::analysis` answers the paper's
+//! questions (§3.6, §4) by materialising the whole trace and making several
+//! passes over it. That is fine for one 700-second experiment; it stops
+//! being fine for seed campaigns, multi-node aggregation, or replaying
+//! multi-gigabyte trace files. This crate re-expresses every paper metric
+//! as an *incremental* state with three operations:
+//!
+//! * `observe(&TraceRecord)` — fold one record in, O(1) amortised;
+//! * `merge(other)` — combine two states built over disjoint record sets.
+//!   For the exact states this is associative and commutative, so shards
+//!   can be reduced in any order (and in parallel, see [`merge_all`]);
+//! * `finalize(...)` — produce the *identical* figure the batch analysis
+//!   produces. Identical means bit-identical: each state accumulates the
+//!   same integers the batch pass accumulates and finalizes through the
+//!   same constructors in `essio-trace` (`RwStats::from_counts`,
+//!   `ClassBreakdown::from_counts`, `SpatialLocality::from_band_counts`,
+//!   `TemporalLocality::from_parts`), so every float is computed once, from
+//!   the same integers, by the same expression.
+//!
+//! [`StreamSummary`] bundles the four exact states (read/write mix, size
+//! classes, banded spatial locality, temporal hot spots + inter-access
+//! gaps) and two bounded-memory sketches ([`sketch::SpaceSaving`] top-k
+//! and a [`sketch::LogHistogram`] of inter-arrival times) behind a single
+//! `RecordSink`, so it can be plugged directly into the device-driver
+//! drain path (`Experiment::run_streamed`) or fed from the chunked trace
+//! decoder ([`replay_path`] / `essio_trace::codec::ChunkedDecoder`).
+
+pub mod sketch;
+pub mod state;
+pub mod summary;
+
+pub use state::{RwState, SizeState, SpatialState, TemporalState};
+pub use summary::{merge_all, NodeShards, StreamConfig, StreamSummary};
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+use essio_trace::codec::{decode_chunked, DecodeError};
+use essio_trace::RecordSink;
+
+/// Replay a binary trace file into `sink` in bounded-memory chunks.
+///
+/// Convenience over [`essio_trace::codec::decode_chunked`]: peak resident
+/// trace memory is `chunk_records` records regardless of file size.
+pub fn replay_path(
+    path: impl AsRef<Path>,
+    chunk_records: usize,
+    sink: &mut impl RecordSink,
+) -> Result<u64, DecodeError> {
+    let file = File::open(path).map_err(|e| DecodeError::Io(e.kind()))?;
+    decode_chunked(BufReader::new(file), chunk_records, sink)
+}

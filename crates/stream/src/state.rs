@@ -1,0 +1,226 @@
+//! Incremental per-metric states: observe / merge / finalize.
+//!
+//! Each state accumulates exactly the integers its batch counterpart in
+//! `essio-trace::analysis` accumulates, and finalizes through the batch
+//! code's own constructors — that is what makes streaming ≡ batch hold
+//! bit-for-bit rather than approximately.
+//!
+//! All four states form commutative monoids under `merge` (the identity is
+//! the freshly-constructed state), so a trace may be split into shards in
+//! any way, folded shard-locally, and reduced in any order.
+
+use std::collections::{BTreeMap, HashMap};
+
+use essio_sim::SimTime;
+use essio_trace::analysis::size::SizeHistogram;
+use essio_trace::analysis::temporal::gaps_from_spans;
+use essio_trace::analysis::{
+    ClassBreakdown, RwStats, SizeClass, SpatialLocality, TemporalLocality,
+};
+use essio_trace::{Op, Origin, TraceRecord};
+
+/// Streaming read/write mix (batch: [`RwStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct RwState {
+    /// Read requests.
+    pub reads: u64,
+    /// Write requests.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+}
+
+impl RwState {
+    /// Fold one record in.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        match r.op {
+            Op::Read => {
+                self.reads += 1;
+                self.read_bytes += r.bytes() as u64;
+            }
+            Op::Write => {
+                self.writes += 1;
+                self.write_bytes += r.bytes() as u64;
+            }
+        }
+    }
+
+    /// Combine with a state built over a disjoint record set.
+    pub fn merge(&mut self, other: &RwState) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+    }
+
+    /// Produce the batch-identical figure for a run of `duration`.
+    pub fn finalize(&self, duration: SimTime) -> RwStats {
+        RwStats::from_counts(
+            self.reads,
+            self.writes,
+            self.read_bytes,
+            self.write_bytes,
+            duration,
+        )
+    }
+}
+
+/// Streaming size-class decomposition (batch: [`ClassBreakdown`]).
+#[derive(Debug, Clone, Default)]
+pub struct SizeState {
+    /// Requests per size class.
+    pub class_counts: BTreeMap<SizeClass, u64>,
+    /// Requests per exact transfer size in bytes.
+    pub size_counts: BTreeMap<u32, u64>,
+    /// (class, origin-as-u8) → count, known origins only.
+    pub confusion: BTreeMap<(SizeClass, u8), u64>,
+}
+
+impl SizeState {
+    /// Fold one record in.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        let bytes = r.bytes();
+        let class = SizeClass::classify(bytes);
+        *self.class_counts.entry(class).or_insert(0) += 1;
+        *self.size_counts.entry(bytes).or_insert(0) += 1;
+        if r.origin != Origin::Unknown {
+            *self.confusion.entry((class, r.origin as u8)).or_insert(0) += 1;
+        }
+    }
+
+    /// Combine with a state built over a disjoint record set.
+    pub fn merge(&mut self, other: &SizeState) {
+        for (&k, &v) in &other.class_counts {
+            *self.class_counts.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.size_counts {
+            *self.size_counts.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.confusion {
+            *self.confusion.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Produce the batch-identical breakdown.
+    pub fn finalize(&self) -> ClassBreakdown {
+        ClassBreakdown::from_counts(
+            self.class_counts.clone(),
+            SizeHistogram {
+                counts: self.size_counts.clone(),
+            },
+            self.confusion.clone(),
+        )
+    }
+}
+
+/// Streaming banded spatial locality (batch: [`SpatialLocality`]).
+#[derive(Debug, Clone)]
+pub struct SpatialState {
+    /// Band width in sectors.
+    pub band_sectors: u32,
+    /// Requests per band (fixed length: the whole disk).
+    pub counts: Vec<u64>,
+}
+
+impl SpatialState {
+    /// State for a disk of `total_sectors` split into `band_sectors` bands.
+    pub fn new(band_sectors: u32, total_sectors: u32) -> Self {
+        let nbands = SpatialLocality::nbands(band_sectors, total_sectors);
+        Self {
+            band_sectors,
+            counts: vec![0; nbands],
+        }
+    }
+
+    /// Fold one record in.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        let band = ((r.sector / self.band_sectors) as usize).min(self.counts.len() - 1);
+        self.counts[band] += 1;
+    }
+
+    /// Combine with a state built over a disjoint record set.
+    ///
+    /// Panics if the two states describe different disks.
+    pub fn merge(&mut self, other: &SpatialState) {
+        assert_eq!(self.band_sectors, other.band_sectors, "band width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "band count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Produce the batch-identical figure.
+    pub fn finalize(&self) -> SpatialLocality {
+        SpatialLocality::from_band_counts(self.band_sectors, self.counts.clone())
+    }
+}
+
+/// Per-sector access-time span: first/last timestamps and visit count.
+///
+/// Consecutive inter-access gaps telescope (Σ(tᵢ₊₁−tᵢ) = tₙ−t₁), so this
+/// is all the state the §3.6 mean-inter-access metric needs, and it merges
+/// exactly: `{min, max, sum}`.
+#[derive(Debug, Clone, Copy)]
+pub struct SectorSpan {
+    /// Earliest access, µs.
+    pub first: SimTime,
+    /// Latest access, µs.
+    pub last: SimTime,
+    /// Number of accesses.
+    pub count: u64,
+}
+
+/// Streaming temporal locality (batch: [`TemporalLocality`]).
+#[derive(Debug, Clone, Default)]
+pub struct TemporalState {
+    /// Accesses per covered sector (a 16 KB transfer touches 32 sectors).
+    pub counts: HashMap<u32, u64>,
+    /// Access-time span per *starting* sector (the paper's record address).
+    pub spans: HashMap<u32, SectorSpan>,
+}
+
+impl TemporalState {
+    /// Fold one record in.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        for s in r.sector..r.end_sector() {
+            *self.counts.entry(s).or_insert(0) += 1;
+        }
+        let span = self.spans.entry(r.sector).or_insert(SectorSpan {
+            first: r.ts,
+            last: r.ts,
+            count: 0,
+        });
+        span.first = span.first.min(r.ts);
+        span.last = span.last.max(r.ts);
+        span.count += 1;
+    }
+
+    /// Combine with a state built over a disjoint record set.
+    pub fn merge(&mut self, other: &TemporalState) {
+        for (&k, &v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+        for (&k, &s) in &other.spans {
+            match self.spans.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let span = e.get_mut();
+                    span.first = span.first.min(s.first);
+                    span.last = span.last.max(s.last);
+                    span.count += s.count;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(s);
+                }
+            }
+        }
+    }
+
+    /// Produce the batch-identical figure for a run of `duration`.
+    pub fn finalize(&self, duration: SimTime) -> TemporalLocality {
+        let (gap_sum_us, gap_n) =
+            gaps_from_spans(self.spans.values().map(|s| (s.first, s.last, s.count)));
+        TemporalLocality::from_parts(self.counts.clone(), gap_sum_us, gap_n, duration)
+    }
+}

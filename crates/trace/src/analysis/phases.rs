@@ -211,7 +211,11 @@ mod tests {
     fn wavelet_like() -> Vec<TraceRecord> {
         let mut t = Vec::new();
         for i in 0..60 {
-            t.push(rec(i as f64 / 3.0, 4, if i % 2 == 0 { Op::Read } else { Op::Write }));
+            t.push(rec(
+                i as f64 / 3.0,
+                4,
+                if i % 2 == 0 { Op::Read } else { Op::Write },
+            ));
         }
         for i in 0..20 {
             t.push(rec(20.0 + i as f64 / 2.0, 16, Op::Read));
@@ -228,7 +232,14 @@ mod tests {
 
     #[test]
     fn recovers_the_wavelet_narrative() {
-        let phases = segment(&wavelet_like(), 70.0, &PhaseConfig { quiet_requests: 2, ..Default::default() });
+        let phases = segment(
+            &wavelet_like(),
+            70.0,
+            &PhaseConfig {
+                quiet_requests: 2,
+                ..Default::default()
+            },
+        );
         let paging = first_of(&phases, PhaseKind::Paging).expect("paging phase");
         assert!(paging.start_s < 5.0, "{paging:?}");
         let stream = first_of(&phases, PhaseKind::StreamingRead).expect("streaming phase");
@@ -244,7 +255,10 @@ mod tests {
         let phases = segment(&wavelet_like(), 70.0, &PhaseConfig::default());
         assert!((phases[0].start_s - 0.0).abs() < 1e-9);
         for w in phases.windows(2) {
-            assert!((w[0].end_s - w[1].start_s).abs() < 1e-9, "gap/overlap: {w:?}");
+            assert!(
+                (w[0].end_s - w[1].start_s).abs() < 1e-9,
+                "gap/overlap: {w:?}"
+            );
             assert_ne!(w[0].kind, w[1].kind, "adjacent phases must differ");
         }
         let total: u64 = phases.iter().map(|p| p.requests).sum();
@@ -272,7 +286,11 @@ mod tests {
         // A mixed busy period is Busy, not WriteBurst.
         let mut t = Vec::new();
         for i in 0..40 {
-            t.push(rec(i as f64 / 8.0, 1, if i % 2 == 0 { Op::Read } else { Op::Write }));
+            t.push(rec(
+                i as f64 / 8.0,
+                1,
+                if i % 2 == 0 { Op::Read } else { Op::Write },
+            ));
         }
         let phases = segment(&t, 5.0, &PhaseConfig::default());
         assert_eq!(phases[0].kind, PhaseKind::Busy);

@@ -30,27 +30,43 @@ pub struct RwStats {
 impl RwStats {
     /// Compute the mix over a run of `duration`.
     pub fn compute(records: &[TraceRecord], duration: SimTime) -> Self {
-        let mut s = Self {
-            reads: 0,
-            writes: 0,
-            total: records.len() as u64,
-            duration_s: essio_sim::time::as_secs_f64(duration),
-            read_bytes: 0,
-            write_bytes: 0,
-        };
+        let (mut reads, mut writes) = (0u64, 0u64);
+        let (mut read_bytes, mut write_bytes) = (0u64, 0u64);
         for r in records {
             match r.op {
                 Op::Read => {
-                    s.reads += 1;
-                    s.read_bytes += r.bytes() as u64;
+                    reads += 1;
+                    read_bytes += r.bytes() as u64;
                 }
                 Op::Write => {
-                    s.writes += 1;
-                    s.write_bytes += r.bytes() as u64;
+                    writes += 1;
+                    write_bytes += r.bytes() as u64;
                 }
             }
         }
-        s
+        Self::from_counts(reads, writes, read_bytes, write_bytes, duration)
+    }
+
+    /// Assemble stats from pre-accumulated counters.
+    ///
+    /// `compute` delegates here, and the incremental `RwState` in
+    /// `essio-stream` finalizes through the same path, so batch and
+    /// streaming analyses produce bit-identical values by construction.
+    pub fn from_counts(
+        reads: u64,
+        writes: u64,
+        read_bytes: u64,
+        write_bytes: u64,
+        duration: SimTime,
+    ) -> Self {
+        Self {
+            reads,
+            writes,
+            total: reads + writes,
+            duration_s: essio_sim::time::as_secs_f64(duration),
+            read_bytes,
+            write_bytes,
+        }
     }
 
     /// Percentage of requests that are reads (0 for an empty trace).

@@ -48,7 +48,13 @@ pub fn binned(records: &[TraceRecord], bin_s: f64, duration_s: f64) -> Vec<Bin> 
     assert!(bin_s > 0.0, "bin width must be positive");
     let nbins = (duration_s / bin_s).ceil().max(1.0) as usize;
     let mut bins: Vec<Bin> = (0..nbins)
-        .map(|i| Bin { t0: i as f64 * bin_s, requests: 0, bytes: 0, max_bytes: 0, reads: 0 })
+        .map(|i| Bin {
+            t0: i as f64 * bin_s,
+            requests: 0,
+            bytes: 0,
+            max_bytes: 0,
+            reads: 0,
+        })
         .collect();
     for r in records {
         let idx = ((r.secs() / bin_s) as usize).min(nbins - 1);
@@ -78,14 +84,14 @@ pub fn longest_lull(bins: &[Bin], threshold: u64, bin_s: f64) -> Option<(f64, f6
         if b.requests < threshold {
             run_start.get_or_insert(i);
         } else if let Some(s) = run_start.take() {
-            if best.map_or(true, |(bs, be)| i - s > be - bs) {
+            if best.is_none_or(|(bs, be)| i - s > be - bs) {
                 best = Some((s, i));
             }
         }
     }
     if let Some(s) = run_start {
         let i = bins.len();
-        if best.map_or(true, |(bs, be)| i - s > be - bs) {
+        if best.is_none_or(|(bs, be)| i - s > be - bs) {
             best = Some((s, i));
         }
     }
@@ -183,7 +189,9 @@ mod tests {
 
     #[test]
     fn no_lull_when_always_busy() {
-        let recs: Vec<_> = (0..5).map(|i| rec(i as f64 + 0.5, 0, 1, Op::Write)).collect();
+        let recs: Vec<_> = (0..5)
+            .map(|i| rec(i as f64 + 0.5, 0, 1, Op::Write))
+            .collect();
         let bins = binned(&recs, 1.0, 5.0);
         assert_eq!(longest_lull(&bins, 1, 1.0), None);
     }

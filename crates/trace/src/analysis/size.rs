@@ -109,7 +109,11 @@ impl SizeHistogram {
         if total == 0 {
             return 0.0;
         }
-        let sum: u128 = self.counts.iter().map(|(s, c)| *s as u128 * *c as u128).sum();
+        let sum: u128 = self
+            .counts
+            .iter()
+            .map(|(s, c)| *s as u128 * *c as u128)
+            .sum();
         sum as f64 / total as f64
     }
 }
@@ -139,6 +143,18 @@ impl ClassBreakdown {
                 *confusion.entry((class, r.origin as u8)).or_insert(0) += 1;
             }
         }
+        Self::from_counts(class_counts, SizeHistogram::compute(records), confusion)
+    }
+
+    /// Assemble the breakdown from pre-accumulated count maps.
+    ///
+    /// Both `compute` and the incremental `SizeState` in `essio-stream`
+    /// finalize through this constructor, so the two paths agree exactly.
+    pub fn from_counts(
+        class_counts: BTreeMap<SizeClass, u64>,
+        histogram: SizeHistogram,
+        confusion: BTreeMap<(SizeClass, u8), u64>,
+    ) -> Self {
         let by_class = SizeClass::ALL
             .iter()
             .map(|c| (*c, class_counts.get(c).copied().unwrap_or(0)))
@@ -147,7 +163,11 @@ impl ClassBreakdown {
             .into_iter()
             .map(|((c, o), n)| (c, Origin::from_u8(o), n))
             .collect();
-        Self { by_class, histogram: SizeHistogram::compute(records), confusion }
+        Self {
+            by_class,
+            histogram,
+            confusion,
+        }
     }
 
     /// Total requests.
@@ -177,7 +197,12 @@ impl ClassBreakdown {
     /// For records with known origin: of the requests in `class`, the
     /// fraction issued by `origin`. Used to verify e.g. "4 KB ⇒ paging".
     pub fn class_purity(&self, class: SizeClass, origins: &[Origin]) -> f64 {
-        let in_class: u64 = self.confusion.iter().filter(|(c, _, _)| *c == class).map(|(_, _, n)| n).sum();
+        let in_class: u64 = self
+            .confusion
+            .iter()
+            .filter(|(c, _, _)| *c == class)
+            .map(|(_, _, n)| n)
+            .sum();
         if in_class == 0 {
             return 0.0;
         }
@@ -197,7 +222,13 @@ impl ClassBreakdown {
         let total = self.total().max(1);
         for (class, n) in &self.by_class {
             if *n > 0 {
-                let _ = writeln!(s, "  {:>9}: {:>8} ({:5.1}%)", class.label(), n, *n as f64 * 100.0 / total as f64);
+                let _ = writeln!(
+                    s,
+                    "  {:>9}: {:>8} ({:5.1}%)",
+                    class.label(),
+                    n,
+                    *n as f64 * 100.0 / total as f64
+                );
             }
         }
         if let Some(mode) = self.histogram.mode() {
@@ -274,7 +305,10 @@ mod tests {
         let mut r3 = rec(2.0, 0, 4, Op::Read);
         r3.origin = Origin::FileData; // impostor: 4 KB that is NOT paging
         let b = ClassBreakdown::compute(&[r1, r2, r3]);
-        let purity = b.class_purity(SizeClass::Page4K, &[Origin::SwapIn, Origin::SwapOut, Origin::PageIn]);
+        let purity = b.class_purity(
+            SizeClass::Page4K,
+            &[Origin::SwapIn, Origin::SwapOut, Origin::PageIn],
+        );
         assert!((purity - 2.0 / 3.0).abs() < 1e-12);
     }
 

@@ -41,15 +41,30 @@ pub struct SpatialLocality {
 }
 
 impl SpatialLocality {
+    /// Number of bands a disk of `total_sectors` splits into.
+    pub fn nbands(band_sectors: u32, total_sectors: u32) -> usize {
+        assert!(band_sectors > 0, "band width must be nonzero");
+        (total_sectors as u64).div_ceil(band_sectors as u64).max(1) as usize
+    }
+
     /// Compute the banded distribution over a disk of `total_sectors`.
     pub fn compute(records: &[TraceRecord], band_sectors: u32, total_sectors: u32) -> Self {
-        assert!(band_sectors > 0, "band width must be nonzero");
-        let nbands = (total_sectors as u64).div_ceil(band_sectors as u64).max(1) as usize;
+        let nbands = Self::nbands(band_sectors, total_sectors);
         let mut counts = vec![0u64; nbands];
         for r in records {
             let band = ((r.sector / band_sectors) as usize).min(nbands - 1);
             counts[band] += 1;
         }
+        Self::from_band_counts(band_sectors, counts)
+    }
+
+    /// Assemble the summary from a pre-accumulated per-band count vector.
+    ///
+    /// Both `compute` and the incremental `SpatialState` in `essio-stream`
+    /// finalize through this constructor (same `lorenz`/`gini` arithmetic on
+    /// the same integers), so the two paths agree bit-for-bit.
+    pub fn from_band_counts(band_sectors: u32, counts: Vec<u64>) -> Self {
+        assert!(band_sectors > 0, "band width must be nonzero");
         let total: u64 = counts.iter().sum();
         let bands = counts
             .iter()
@@ -57,12 +72,21 @@ impl SpatialLocality {
             .map(|(i, &requests)| Band {
                 start: i as u32 * band_sectors,
                 requests,
-                pct: if total == 0 { 0.0 } else { requests as f64 * 100.0 / total as f64 },
+                pct: if total == 0 {
+                    0.0
+                } else {
+                    requests as f64 * 100.0 / total as f64
+                },
             })
             .collect();
         let gini = gini(&counts);
         let top20_fraction = top_fraction(&counts, 0.20);
-        Self { band_sectors, bands, gini, top20_fraction }
+        Self {
+            band_sectors,
+            bands,
+            gini,
+            top20_fraction,
+        }
     }
 
     /// Total requests across all bands.
@@ -87,10 +111,22 @@ impl SpatialLocality {
         let mut s = String::from("spatial locality (bands of sectors):\n");
         for b in &self.bands {
             if b.requests > 0 {
-                let _ = writeln!(s, "  [{:>7}..{:>7}): {:>8} ({:5.1}%)", b.start, b.start as u64 + self.band_sectors as u64, b.requests, b.pct);
+                let _ = writeln!(
+                    s,
+                    "  [{:>7}..{:>7}): {:>8} ({:5.1}%)",
+                    b.start,
+                    b.start as u64 + self.band_sectors as u64,
+                    b.requests,
+                    b.pct
+                );
             }
         }
-        let _ = writeln!(s, "  gini={:.3} top20%-of-bands carries {:.1}% of requests", self.gini, self.top20_fraction * 100.0);
+        let _ = writeln!(
+            s,
+            "  gini={:.3} top20%-of-bands carries {:.1}% of requests",
+            self.gini,
+            self.top20_fraction * 100.0
+        );
         s
     }
 }
@@ -224,9 +260,7 @@ mod tests {
         let recs: Vec<_> = counts
             .iter()
             .enumerate()
-            .flat_map(|(band, n)| {
-                (0..*n).map(move |_| rec(0.0, band as u32 * 100, 1, Op::Write))
-            })
+            .flat_map(|(band, n)| (0..*n).map(move |_| rec(0.0, band as u32 * 100, 1, Op::Write)))
             .collect();
         let s = SpatialLocality::compute(&recs, 100, 100 * 100);
         assert!(s.is_pareto_like(0.7), "top20 = {}", s.top20_fraction);

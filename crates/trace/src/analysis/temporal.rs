@@ -56,8 +56,6 @@ impl TemporalLocality {
     /// transfer touches 32 sectors), matching what driver-level tracing
     /// observes physically moving under the head.
     pub fn compute(records: &[TraceRecord], duration: SimTime) -> Self {
-        let duration_s = (essio_sim::time::as_secs_f64(duration)).max(1e-9);
-
         // Parallel per-sector access counting.
         let counts: HashMap<u32, u64> = records
             .par_chunks(16 * 1024)
@@ -77,22 +75,44 @@ impl TemporalLocality {
                 a
             });
 
+        // Mean inter-access time, keyed on the starting sector of each
+        // request (the address the paper's record carries). For a sector
+        // accessed at times t₁ ≤ … ≤ tₙ the consecutive gaps telescope:
+        // Σ(tᵢ₊₁ − tᵢ) = tₙ − t₁, so only {first, last, count} per sector is
+        // needed — integer state that merges exactly, which is what lets the
+        // streaming path reproduce this number bit-for-bit.
+        let mut spans: HashMap<u32, (SimTime, SimTime, u64)> = HashMap::new();
+        for r in records {
+            let e = spans.entry(r.sector).or_insert((r.ts, r.ts, 0));
+            e.0 = e.0.min(r.ts);
+            e.1 = e.1.max(r.ts);
+            e.2 += 1;
+        }
+        let (gap_sum_us, gap_n) = gaps_from_spans(spans.values().copied());
+
+        Self::from_parts(counts, gap_sum_us, gap_n, duration)
+    }
+
+    /// Assemble the summary from pre-accumulated state: per-sector access
+    /// counts plus the telescoped inter-access gap total in integer µs.
+    ///
+    /// Both `compute` and the incremental `TemporalState` in `essio-stream`
+    /// finalize through this constructor, so batch and streaming agree
+    /// exactly (the single integer→float conversion happens here).
+    pub fn from_parts(
+        counts: HashMap<u32, u64>,
+        gap_sum_us: u128,
+        gap_n: u64,
+        duration: SimTime,
+    ) -> Self {
+        let duration_s = (essio_sim::time::as_secs_f64(duration)).max(1e-9);
         let distinct_sectors = counts.len() as u64;
         let revisited_sectors = counts.values().filter(|&&c| c >= 2).count() as u64;
-
-        // Inter-access times need per-sector timestamp sequences; track them
-        // only for the starting sector of each request (the address the
-        // paper's record carries), serially — the sequences are short.
-        let mut last_seen: HashMap<u32, SimTime> = HashMap::new();
-        let mut gap_sum = 0.0f64;
-        let mut gap_n = 0u64;
-        for r in records {
-            if let Some(prev) = last_seen.insert(r.sector, r.ts) {
-                gap_sum += essio_sim::time::as_secs_f64(r.ts.saturating_sub(prev));
-                gap_n += 1;
-            }
-        }
-        let mean_interaccess_s = if gap_n == 0 { 0.0 } else { gap_sum / gap_n as f64 };
+        let mean_interaccess_s = if gap_n == 0 {
+            0.0
+        } else {
+            gap_sum_us as f64 / essio_sim::time::MICROS_PER_SEC as f64 / gap_n as f64
+        };
 
         let mut hot: Vec<HotSpot> = counts
             .into_iter()
@@ -105,9 +125,16 @@ impl TemporalLocality {
         hot.sort_unstable_by(|a, b| b.accesses.cmp(&a.accesses).then(a.sector.cmp(&b.sector)));
         hot.truncate(Self::MAX_HOT);
 
-        Self { duration_s, hot_spots: hot, distinct_sectors, revisited_sectors, mean_interaccess_s }
+        Self {
+            duration_s,
+            hot_spots: hot,
+            distinct_sectors,
+            revisited_sectors,
+            mean_interaccess_s,
+        }
     }
 
+    /// Internal count-map merge used by the rayon reduce.
     fn merge(mut into: HashMap<u32, u64>, from: HashMap<u32, u64>) -> HashMap<u32, u64> {
         for (k, v) in from {
             *into.entry(k).or_insert(0) += v;
@@ -123,7 +150,9 @@ impl TemporalLocality {
     /// Hottest sector within `[lo, hi)` — used to check the paper's claim
     /// that the top spots sit in the log and swap areas.
     pub fn hottest_in(&self, lo: u32, hi: u32) -> Option<&HotSpot> {
-        self.hot_spots.iter().find(|h| h.sector >= lo && h.sector < hi)
+        self.hot_spots
+            .iter()
+            .find(|h| h.sector >= lo && h.sector < hi)
     }
 
     /// Human-readable top-10 table.
@@ -131,7 +160,11 @@ impl TemporalLocality {
         use std::fmt::Write as _;
         let mut s = String::from("temporal locality (hot sectors):\n");
         for h in self.hot_spots.iter().take(10) {
-            let _ = writeln!(s, "  sector {:>7}: {:>7} accesses ({:.3}/s)", h.sector, h.accesses, h.freq_per_sec);
+            let _ = writeln!(
+                s,
+                "  sector {:>7}: {:>7} accesses ({:.3}/s)",
+                h.sector, h.accesses, h.freq_per_sec
+            );
         }
         let _ = writeln!(
             s,
@@ -140,6 +173,23 @@ impl TemporalLocality {
         );
         s
     }
+}
+
+/// Telescoped inter-access gaps from per-sector `(first, last, count)`
+/// spans: a sector visited `n ≥ 2` times over `[first, last]` contributes
+/// `last − first` µs across `n − 1` gaps. Exact integer arithmetic — the
+/// same fold runs over batch span maps here and over merged streaming
+/// shards in `essio-stream`.
+pub fn gaps_from_spans(spans: impl IntoIterator<Item = (SimTime, SimTime, u64)>) -> (u128, u64) {
+    let mut gap_sum_us = 0u128;
+    let mut gap_n = 0u64;
+    for (first, last, count) in spans {
+        if count >= 2 {
+            gap_sum_us += (last - first) as u128;
+            gap_n += count - 1;
+        }
+    }
+    (gap_sum_us, gap_n)
 }
 
 #[cfg(test)]
@@ -235,7 +285,11 @@ mod tests {
             }
         }
         assert_eq!(t.distinct_sectors, counts.len() as u64);
-        let max = counts.iter().map(|(s, c)| (*c, std::cmp::Reverse(*s))).max().unwrap();
+        let max = counts
+            .iter()
+            .map(|(s, c)| (*c, std::cmp::Reverse(*s)))
+            .max()
+            .unwrap();
         let hot = t.hottest().unwrap();
         assert_eq!(hot.accesses, max.0);
     }

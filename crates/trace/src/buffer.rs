@@ -15,6 +15,7 @@
 use std::collections::VecDeque;
 
 use crate::record::{Origin, TraceRecord};
+use crate::sink::RecordSink;
 
 /// The ioctl-selectable instrumentation level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -86,15 +87,32 @@ impl TraceBuffer {
         true
     }
 
+    /// Proc-fs read: stream up to `max` records (oldest first) straight
+    /// into `sink`, with no intermediate buffer. Both the batch [`drain`]
+    /// path and the live tap used by streaming analytics share this loop,
+    /// so a record leaves "kernel memory" exactly once either way.
+    ///
+    /// Returns the number of records delivered.
+    ///
+    /// [`drain`]: TraceBuffer::drain
+    pub fn drain_into(&mut self, max: usize, sink: &mut impl RecordSink) -> usize {
+        let n = max.min(self.ring.len());
+        for rec in self.ring.drain(..n) {
+            sink.observe(&rec);
+        }
+        n
+    }
+
     /// Proc-fs read: drain up to `max` records (oldest first).
     pub fn drain(&mut self, max: usize) -> Vec<TraceRecord> {
-        let n = max.min(self.ring.len());
-        self.ring.drain(..n).collect()
+        let mut out = Vec::with_capacity(max.min(self.ring.len()));
+        self.drain_into(max, &mut out);
+        out
     }
 
     /// Drain everything.
     pub fn drain_all(&mut self) -> Vec<TraceRecord> {
-        self.ring.drain(..).collect()
+        self.drain(usize::MAX)
     }
 
     /// Records currently buffered.
@@ -197,6 +215,30 @@ mod tests {
         assert_eq!(b.len(), 4);
         let rest = b.drain(100);
         assert_eq!(rest.len(), 4);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn drain_into_streams_fifo_without_copy_buffer() {
+        let mut b = TraceBuffer::new(8);
+        b.set_level(InstrumentationLevel::Full);
+        for t in 0..5 {
+            b.log(rec(t));
+        }
+        struct LastTs(Option<u64>, usize);
+        impl RecordSink for LastTs {
+            fn observe(&mut self, rec: &TraceRecord) {
+                assert!(self.0.is_none_or(|prev| prev < rec.ts), "FIFO order");
+                self.0 = Some(rec.ts);
+                self.1 += 1;
+            }
+        }
+        let mut sink = LastTs(None, 0);
+        assert_eq!(b.drain_into(3, &mut sink), 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.drain_into(usize::MAX, &mut sink), 2);
+        assert_eq!(sink.1, 5);
+        assert_eq!(sink.0, Some(4));
         assert!(b.is_empty());
     }
 

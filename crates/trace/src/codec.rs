@@ -6,9 +6,12 @@
 //! that is a few MB — cheap to persist per experiment so analyses can be
 //! re-run without re-simulating.
 
+use std::io::Read;
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::record::{Op, Origin, TraceRecord};
+use crate::sink::RecordSink;
 
 /// Magic bytes identifying a binary trace file ("ESIO" + version 1).
 pub const MAGIC: [u8; 4] = *b"ESI\x01";
@@ -25,6 +28,8 @@ pub enum DecodeError {
     Truncated,
     /// A record carried an invalid op flag.
     BadOp(u8),
+    /// The underlying reader failed (streaming decode only).
+    Io(std::io::ErrorKind),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -33,6 +38,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "not an ESIO trace (bad magic)"),
             DecodeError::Truncated => write!(f, "trace truncated mid-record"),
             DecodeError::BadOp(v) => write!(f, "invalid op flag {v}"),
+            DecodeError::Io(kind) => write!(f, "trace read failed: {kind}"),
         }
     }
 }
@@ -59,32 +65,142 @@ pub fn encode(records: &[TraceRecord]) -> Bytes {
     buf.freeze()
 }
 
+/// Decode one 20-byte wire record. Shared by the whole-buffer [`decode`]
+/// and the streaming [`ChunkedDecoder`].
+fn decode_record(mut b: &[u8]) -> Result<TraceRecord, DecodeError> {
+    debug_assert_eq!(b.len(), RECORD_BYTES);
+    let ts = b.get_u64_le();
+    let sector = b.get_u32_le();
+    let nsectors = b.get_u16_le();
+    let pending = b.get_u16_le();
+    let node = b.get_u8();
+    let op = match b.get_u8() {
+        0 => Op::Read,
+        1 => Op::Write,
+        v => return Err(DecodeError::BadOp(v)),
+    };
+    let origin = Origin::from_u8(b.get_u8());
+    let _pad = b.get_u8();
+    Ok(TraceRecord {
+        ts,
+        sector,
+        nsectors,
+        pending,
+        node,
+        op,
+        origin,
+    })
+}
+
 /// Decode a binary trace produced by [`encode`].
 pub fn decode(mut data: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
     if data.len() < MAGIC.len() || data[..MAGIC.len()] != MAGIC {
         return Err(DecodeError::BadMagic);
     }
     data = &data[MAGIC.len()..];
-    if data.len() % RECORD_BYTES != 0 {
+    if !data.len().is_multiple_of(RECORD_BYTES) {
         return Err(DecodeError::Truncated);
     }
     let mut out = Vec::with_capacity(data.len() / RECORD_BYTES);
-    while data.has_remaining() {
-        let ts = data.get_u64_le();
-        let sector = data.get_u32_le();
-        let nsectors = data.get_u16_le();
-        let pending = data.get_u16_le();
-        let node = data.get_u8();
-        let op = match data.get_u8() {
-            0 => Op::Read,
-            1 => Op::Write,
-            v => return Err(DecodeError::BadOp(v)),
-        };
-        let origin = Origin::from_u8(data.get_u8());
-        let _pad = data.get_u8();
-        out.push(TraceRecord { ts, sector, nsectors, pending, node, op, origin });
+    for rec in data.chunks_exact(RECORD_BYTES) {
+        out.push(decode_record(rec)?);
     }
     Ok(out)
+}
+
+/// Streaming decoder: replays a binary trace in fixed-size chunks so peak
+/// resident memory is `O(chunk_records)` regardless of trace length.
+///
+/// A multi-hour campaign trace can run to 10⁷ records; the batch [`decode`]
+/// materialises all of them, while this decoder holds one chunk at a time —
+/// the natural feed for the incremental states in `essio-stream`, which
+/// only ever need the record currently in hand.
+pub struct ChunkedDecoder<R: Read> {
+    src: R,
+    buf: Vec<u8>,
+    started: bool,
+    done: bool,
+}
+
+impl<R: Read> ChunkedDecoder<R> {
+    /// Wrap a reader; `chunk_records` bounds records resident per chunk.
+    pub fn new(src: R, chunk_records: usize) -> Self {
+        let chunk = chunk_records.max(1);
+        Self {
+            src,
+            buf: vec![0u8; chunk * RECORD_BYTES],
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Records per chunk this decoder was configured with.
+    pub fn chunk_records(&self) -> usize {
+        self.buf.len() / RECORD_BYTES
+    }
+
+    /// Read until `buf` is full or EOF; return bytes read.
+    fn read_full(src: &mut R, buf: &mut [u8]) -> Result<usize, DecodeError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match src.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(DecodeError::Io(e.kind())),
+            }
+        }
+        Ok(filled)
+    }
+
+    /// Decode the next chunk into `out` (cleared first). Returns the number
+    /// of records produced; `Ok(0)` means the trace ended cleanly. A trace
+    /// that ends mid-record yields [`DecodeError::Truncated`].
+    pub fn next_chunk(&mut self, out: &mut Vec<TraceRecord>) -> Result<usize, DecodeError> {
+        out.clear();
+        if !self.started {
+            let mut magic = [0u8; MAGIC.len()];
+            let n = Self::read_full(&mut self.src, &mut magic)?;
+            if n < MAGIC.len() || magic != MAGIC {
+                return Err(DecodeError::BadMagic);
+            }
+            self.started = true;
+        }
+        if self.done {
+            return Ok(0);
+        }
+        let n = Self::read_full(&mut self.src, &mut self.buf)?;
+        if n < self.buf.len() {
+            self.done = true;
+        }
+        if n % RECORD_BYTES != 0 {
+            return Err(DecodeError::Truncated);
+        }
+        for rec in self.buf[..n].chunks_exact(RECORD_BYTES) {
+            out.push(decode_record(rec)?);
+        }
+        Ok(n / RECORD_BYTES)
+    }
+}
+
+/// Replay a binary trace into `sink`, chunk by chunk. Returns the number of
+/// records replayed. Peak resident trace memory is one chunk.
+pub fn decode_chunked<R: Read>(
+    src: R,
+    chunk_records: usize,
+    sink: &mut impl RecordSink,
+) -> Result<u64, DecodeError> {
+    let mut dec = ChunkedDecoder::new(src, chunk_records);
+    let mut chunk = Vec::with_capacity(dec.chunk_records());
+    let mut total = 0u64;
+    loop {
+        let n = dec.next_chunk(&mut chunk)?;
+        if n == 0 {
+            return Ok(total);
+        }
+        sink.observe_all(&chunk);
+        total += n as u64;
+    }
 }
 
 /// CSV header matching [`to_csv`] rows.
@@ -129,9 +245,33 @@ mod tests {
 
     fn sample() -> Vec<TraceRecord> {
         vec![
-            TraceRecord { ts: 0, sector: 1, nsectors: 2, pending: 0, node: 0, op: Op::Write, origin: Origin::Log },
-            TraceRecord { ts: 1_000_000, sector: 45_000, nsectors: 8, pending: 3, node: 7, op: Op::Read, origin: Origin::SwapIn },
-            TraceRecord { ts: u64::MAX, sector: u32::MAX, nsectors: u16::MAX, pending: u16::MAX, node: u8::MAX, op: Op::Read, origin: Origin::Unknown },
+            TraceRecord {
+                ts: 0,
+                sector: 1,
+                nsectors: 2,
+                pending: 0,
+                node: 0,
+                op: Op::Write,
+                origin: Origin::Log,
+            },
+            TraceRecord {
+                ts: 1_000_000,
+                sector: 45_000,
+                nsectors: 8,
+                pending: 3,
+                node: 7,
+                op: Op::Read,
+                origin: Origin::SwapIn,
+            },
+            TraceRecord {
+                ts: u64::MAX,
+                sector: u32::MAX,
+                nsectors: u16::MAX,
+                pending: u16::MAX,
+                node: u8::MAX,
+                op: Op::Read,
+                origin: Origin::Unknown,
+            },
         ]
     }
 
@@ -185,5 +325,97 @@ mod tests {
         let recs = sample();
         let json = to_json(&recs).unwrap();
         assert_eq!(from_json(&json).unwrap(), recs);
+    }
+
+    fn many(n: usize) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord {
+                ts: i as u64 * 17,
+                sector: (i as u32 * 37) % 90_000,
+                nsectors: 2 + (i % 31) as u16,
+                pending: (i % 5) as u16,
+                node: (i % 16) as u8,
+                op: if i % 3 == 0 { Op::Read } else { Op::Write },
+                origin: Origin::from_u8((i % 8) as u8),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_roundtrip_matches_batch_decode() {
+        // Chunk sizes that divide, exceed, and straddle the record count.
+        for (n, chunk) in [(0, 4), (1, 4), (7, 3), (64, 64), (65, 64), (100, 7)] {
+            let recs = many(n);
+            let encoded = encode(&recs);
+            let mut dec = ChunkedDecoder::new(&encoded[..], chunk);
+            let mut out = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                let got = dec.next_chunk(&mut buf).unwrap();
+                assert!(got <= chunk, "chunk bound holds");
+                assert_eq!(got, buf.len());
+                if got == 0 {
+                    break;
+                }
+                out.extend_from_slice(&buf);
+            }
+            assert_eq!(out, decode(&encoded).unwrap(), "n={n} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn chunked_sink_replay_counts() {
+        let recs = many(50);
+        let encoded = encode(&recs);
+        let mut collected: Vec<TraceRecord> = Vec::new();
+        let n = decode_chunked(&encoded[..], 8, &mut collected).unwrap();
+        assert_eq!(n, 50);
+        assert_eq!(collected, recs);
+    }
+
+    #[test]
+    fn chunked_truncated_tail_is_an_error() {
+        let recs = many(20);
+        let mut encoded = encode(&recs).to_vec();
+        encoded.truncate(encoded.len() - 3); // chop mid-record
+        let mut dec = ChunkedDecoder::new(&encoded[..], 8);
+        let mut buf = Vec::new();
+        let mut saw = Ok(0usize);
+        for _ in 0..10 {
+            saw = dec.next_chunk(&mut buf);
+            match saw {
+                Ok(0) | Err(_) => break,
+                Ok(_) => continue,
+            }
+        }
+        assert_eq!(saw, Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn chunked_bad_magic_and_short_header() {
+        let mut dec = ChunkedDecoder::new(&b"nope-not-a-trace"[..], 4);
+        assert_eq!(dec.next_chunk(&mut Vec::new()), Err(DecodeError::BadMagic));
+        let mut dec = ChunkedDecoder::new(&b"ES"[..], 4);
+        assert_eq!(dec.next_chunk(&mut Vec::new()), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn chunked_bad_op_surfaces_mid_stream() {
+        let recs = many(10);
+        let mut encoded = encode(&recs).to_vec();
+        // Op byte of record 6 (second chunk when chunk=4).
+        encoded[MAGIC.len() + 6 * RECORD_BYTES + 17] = 7;
+        let mut dec = ChunkedDecoder::new(&encoded[..], 4);
+        let mut buf = Vec::new();
+        assert_eq!(dec.next_chunk(&mut buf), Ok(4));
+        assert_eq!(dec.next_chunk(&mut buf), Err(DecodeError::BadOp(7)));
+    }
+
+    #[test]
+    fn chunked_empty_trace_ends_immediately() {
+        let encoded = encode(&[]);
+        let mut dec = ChunkedDecoder::new(&encoded[..], 4);
+        assert_eq!(dec.next_chunk(&mut Vec::new()), Ok(0));
+        assert_eq!(dec.next_chunk(&mut Vec::new()), Ok(0));
     }
 }

@@ -27,6 +27,8 @@ pub mod analysis;
 pub mod buffer;
 pub mod codec;
 pub mod record;
+pub mod sink;
 
 pub use buffer::{InstrumentationLevel, TraceBuffer};
 pub use record::{Op, Origin, TraceRecord, SECTOR_BYTES};
+pub use sink::RecordSink;

@@ -1,8 +1,12 @@
+#![cfg(feature = "proptests")]
+
 //! Property tests over the trace layer: codecs must round-trip arbitrary
 //! records, and the analyses must conserve mass (every request counted
 //! exactly once in every view).
 
-use essio_trace::analysis::{rw::RwStats, series, size::ClassBreakdown, spatial, temporal::TemporalLocality};
+use essio_trace::analysis::{
+    rw::RwStats, series, size::ClassBreakdown, spatial, temporal::TemporalLocality,
+};
 use essio_trace::{codec, Op, Origin, TraceRecord};
 use proptest::prelude::*;
 
@@ -16,15 +20,17 @@ fn record() -> impl Strategy<Value = TraceRecord> {
         any::<bool>(),
         0u8..8,
     )
-        .prop_map(|(ts, sector, nsectors, pending, node, read, origin)| TraceRecord {
-            ts,
-            sector,
-            nsectors,
-            pending,
-            node,
-            op: if read { Op::Read } else { Op::Write },
-            origin: Origin::from_u8(origin),
-        })
+        .prop_map(
+            |(ts, sector, nsectors, pending, node, read, origin)| TraceRecord {
+                ts,
+                sector,
+                nsectors,
+                pending,
+                node,
+                op: if read { Op::Read } else { Op::Write },
+                origin: Origin::from_u8(origin),
+            },
+        )
 }
 
 fn trace(max: usize) -> impl Strategy<Value = Vec<TraceRecord>> {

@@ -11,7 +11,11 @@ use ess_io_study::trace::analysis::SizeClass;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let exp = if full { Experiment::combined() } else { Experiment::combined().quick() };
+    let exp = if full {
+        Experiment::combined()
+    } else {
+        Experiment::combined().quick()
+    };
     let result = exp.seed(5).run();
     assert!(result.all_clean(), "{:?}", result.exits);
     println!(
@@ -40,7 +44,10 @@ fn main() {
     println!();
     println!("{}", result.summary.temporal.report());
     if let Some(hot) = result.summary.temporal.hottest() {
-        println!("hottest: sector {} (paper: ≈45,000, the system log)", hot.sector);
+        println!(
+            "hottest: sector {} (paper: ≈45,000, the system log)",
+            hot.sector
+        );
     }
 
     // Table 1 row.

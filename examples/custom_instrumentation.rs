@@ -51,14 +51,21 @@ fn main() {
 
     let trace = bw.take_trace();
     println!("captured {} driver-level records", trace.len());
-    println!("injected disk faults survived: {}", bw.kernel(0).driver_stats().faults);
+    println!(
+        "injected disk faults survived: {}",
+        bw.kernel(0).driver_stats().faults
+    );
 
     // Round-trip the trace through the binary codec — what the study's
     // post-processing pipeline would consume.
     let encoded = codec::encode(&trace);
     let decoded = codec::decode(&encoded).expect("own format");
     assert_eq!(decoded, trace);
-    println!("binary trace: {} bytes ({} per record)", encoded.len(), codec::RECORD_BYTES);
+    println!(
+        "binary trace: {} bytes ({} per record)",
+        encoded.len(),
+        codec::RECORD_BYTES
+    );
 
     // And analyze it like any experiment.
     let summary = TraceSummary::compute(&trace, 60_000_000, 999_936);

@@ -10,7 +10,11 @@ use ess_io_study::prelude::*;
 use essio::pfsio;
 
 fn main() {
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 4, seed: 31, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 4,
+        seed: 31,
+        ..Default::default()
+    });
     let svc = pfsio::spawn_service(&mut bw);
 
     // One writer produces a 256 KB dataset striped over all four disks;
@@ -23,7 +27,11 @@ fn main() {
         let mut pf = pfsio::ParaFile::open("dataset", spec_w, &svc_w, writer_task);
         let payload: Vec<u8> = (0..256 * 1024u32).map(|i| (i % 253) as u8).collect();
         for chunk in 0..8u64 {
-            pf.write(ctx, chunk * 32 * 1024, &payload[(chunk as usize) * 32 * 1024..][..32 * 1024]);
+            pf.write(
+                ctx,
+                chunk * 32 * 1024,
+                &payload[(chunk as usize) * 32 * 1024..][..32 * 1024],
+            );
         }
         0
     });
@@ -37,7 +45,10 @@ fn main() {
             let data = pf.read(ctx, base, 80 * 1024);
             // Verify content that the producer has committed by now; the
             // coordinator serializes access, so reads are never torn.
-            let ok = data.iter().enumerate().all(|(i, &b)| b == 0 || b == (((base as usize + i) % 253) as u8));
+            let ok = data
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == 0 || b == (((base as usize + i) % 253) as u8));
             assert!(ok, "consumer {r} read torn data");
             if r == 0 {
                 ctx.compute(3_000_000);
@@ -57,7 +68,11 @@ fn main() {
             .iter()
             .filter(|r| (60_000..940_000).contains(&r.sector))
             .count();
-        println!("  node {n}: {} records, {} in the user-data region (segment files)", per.len(), user);
+        println!(
+            "  node {n}: {} records, {} in the user-data region (segment files)",
+            per.len(),
+            user
+        );
     }
     let summary = TraceSummary::compute(&trace, 30_000_000, 999_936);
     println!();

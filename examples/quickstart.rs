@@ -11,9 +11,17 @@ fn main() {
     // Two nodes, 120 virtual seconds of an idle cluster: only the kernel's
     // own daemons (syslogd, update, table writers, the trace spooler) touch
     // the disks — the paper's Figure 1 / Table 1 baseline.
-    let result = Experiment::baseline().nodes(2).duration_secs(120).seed(7).run();
+    let result = Experiment::baseline()
+        .nodes(2)
+        .duration_secs(120)
+        .seed(7)
+        .run();
 
-    println!("ran {:.0} virtual seconds, captured {} trace records", result.duration_s(), result.trace.len());
+    println!(
+        "ran {:.0} virtual seconds, captured {} trace records",
+        result.duration_s(),
+        result.trace.len()
+    );
     println!();
     println!("{}", essio_trace::analysis::RwStats::table_header());
     println!("{}", result.table1_row());

@@ -14,9 +14,17 @@ use ess_io_study::trace::Op;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let exp = if full { Experiment::wavelet() } else { Experiment::wavelet().quick() };
+    let exp = if full {
+        Experiment::wavelet()
+    } else {
+        Experiment::wavelet().quick()
+    };
     let result = exp.seed(11).run();
-    assert!(result.all_clean(), "all ranks must finish: {:?}", result.exits);
+    assert!(
+        result.all_clean(),
+        "all ranks must finish: {:?}",
+        result.exits
+    );
 
     // Figure 3, as the paper plots it (one disk).
     let fig = figures::fig3(&result);
@@ -26,10 +34,17 @@ fn main() {
     let node0 = result.node_trace(0);
     let bins = series::binned(&node0, 5.0, result.duration_s());
     if let Some(peak) = series::peak_bytes_bin(&bins) {
-        println!("read spike: ~{:.0}s moves {} KB in 5s", peak.t0, peak.bytes / 1024);
+        println!(
+            "read spike: ~{:.0}s moves {} KB in 5s",
+            peak.t0,
+            peak.bytes / 1024
+        );
     }
     if let Some((s, e)) = series::longest_lull(&bins, 3, 5.0) {
-        println!("computation lull: {:.0}s .. {:.0}s (working set resident)", s, e);
+        println!(
+            "computation lull: {:.0}s .. {:.0}s (working set resident)",
+            s, e
+        );
     }
 
     // The request-size taxonomy of §5.

@@ -23,10 +23,19 @@ fn main() {
     let model = WorkloadModel::fit(&measured.trace, measured.duration);
     println!();
     println!("fitted parameter set:");
-    println!("  rate          {:.3} req/s (cluster-wide)", model.rate_per_s);
+    println!(
+        "  rate          {:.3} req/s (cluster-wide)",
+        model.rate_per_s
+    );
     println!("  read fraction {:.3}", model.read_fraction);
-    println!("  size mix      {} distinct request lengths", model.size_mix.len());
-    println!("  band mix      {} populated 50K-sector bands", model.band_mix.len());
+    println!(
+        "  size mix      {} distinct request lengths",
+        model.size_mix.len()
+    );
+    println!(
+        "  band mix      {} populated 50K-sector bands",
+        model.band_mix.len()
+    );
 
     // Regenerate synthetic traffic and validate the marginals.
     let synthetic = model.synthesize(99, measured.duration_s());
@@ -52,7 +61,10 @@ fn main() {
         cross.rate_rel_err * 100.0,
         cross.read_frac_err
     );
-    assert!(!cross.acceptable(), "distinct workloads must be distinguishable");
+    assert!(
+        !cross.acceptable(),
+        "distinct workloads must be distinguishable"
+    );
 
     // The artifact a tuning tool would ingest.
     println!();

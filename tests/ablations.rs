@@ -20,7 +20,11 @@ fn readahead_is_the_source_of_large_reads() {
             .count()
     };
     assert!(big(&with) > 0, "read-ahead produces multi-KB reads");
-    assert_eq!(big(&without), 0, "without read-ahead every file read is block-sized");
+    assert_eq!(
+        big(&without),
+        0,
+        "without read-ahead every file read is block-sized"
+    );
     // More physical read requests without read-ahead (no batching).
     let file_reads = |r: &ExperimentResult| {
         r.trace
@@ -53,7 +57,11 @@ fn frame_pool_size_controls_paging_volume() {
         pages(&tight),
         pages(&normal)
     );
-    assert_eq!(pages(&ample), 0, "with ample memory the wavelet never swaps");
+    assert_eq!(
+        pages(&ample),
+        0,
+        "with ample memory the wavelet never swaps"
+    );
 }
 
 #[test]
@@ -110,11 +118,20 @@ fn multiprogramming_boost_is_what_allows_over_16k_requests() {
 
 #[test]
 fn trace_spooling_contributes_write_traffic() {
-    let with = Experiment::baseline().quick().duration_secs(200).seed(75).run();
+    let with = Experiment::baseline()
+        .quick()
+        .duration_secs(200)
+        .seed(75)
+        .run();
     let mut e = Experiment::baseline().quick().duration_secs(200).seed(75);
     e.cluster.spool_trace = false;
     let without = e.run();
-    let spool = |r: &ExperimentResult| r.trace.iter().filter(|t| t.origin == Origin::TraceDump).count();
+    let spool = |r: &ExperimentResult| {
+        r.trace
+            .iter()
+            .filter(|t| t.origin == Origin::TraceDump)
+            .count()
+    };
     assert!(spool(&with) > 0, "the instrumentation's own I/O is visible");
     assert_eq!(spool(&without), 0);
     assert!(with.trace.len() > without.trace.len());

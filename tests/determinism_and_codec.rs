@@ -56,9 +56,16 @@ fn workload_model_fits_and_validates_on_simulation_output() {
     let v = model.validate(&synthetic, r.duration);
     assert!(v.acceptable(), "{v:?}");
     // The baseline's model is very different from the combined one.
-    let base = Experiment::baseline().quick().duration_secs(300).seed(45).run();
+    let base = Experiment::baseline()
+        .quick()
+        .duration_secs(300)
+        .seed(45)
+        .run();
     let cross = model.validate(&base.trace, base.duration);
-    assert!(!cross.acceptable(), "baseline must not validate against combined: {cross:?}");
+    assert!(
+        !cross.acceptable(),
+        "baseline must not validate against combined: {cross:?}"
+    );
 }
 
 #[test]
@@ -85,7 +92,10 @@ fn trace_rings_do_not_drop_under_normal_collection() {
     // records silently only if the ring overflowed between drains — the
     // cluster asserts that by summing `trace_dropped` internally in tests
     // below at the Beowulf level.)
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 1, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 1,
+        ..Default::default()
+    });
     bw.run_until(120_000_000);
     assert_eq!(bw.trace_dropped(), 0);
 }

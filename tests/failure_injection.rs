@@ -32,7 +32,11 @@ fn disk_fault_injection_slows_but_completes() {
 fn oom_kills_the_offender_and_spares_the_rest() {
     // A node with a tiny swap area: a memory hog must be OOM-killed while
     // a well-behaved neighbour process finishes untouched.
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 1, frames_user: 64, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 1,
+        frames_user: 64,
+        ..Default::default()
+    });
     bw.spawn(0, "hog", 0, |ctx| {
         use ess_io_study::apps::CtxExt;
         let (base, pages) = ctx
@@ -58,19 +62,28 @@ fn oom_kills_the_offender_and_spares_the_rest() {
     bw.run_apps(12_000_000);
     let exits = bw.exits();
     assert_eq!(exits.len(), 2);
-    let hog = exits.iter().find(|e| e.name.contains("hog")).expect("hog exited");
+    let hog = exits
+        .iter()
+        .find(|e| e.name.contains("hog"))
+        .expect("hog exited");
     // Killed either by swap exhaustion (139) — or, if swap is large enough
     // on this layout, it simply never finishes in bounded time; the tiny
     // frame pool + huge mapping guarantees the OOM path here.
     assert_eq!(hog.code, 139, "{hog:?}");
     assert!(hog.name.contains("out of memory"), "{hog:?}");
-    let bystander = exits.iter().find(|e| e.name.contains("bystander")).expect("bystander");
+    let bystander = exits
+        .iter()
+        .find(|e| e.name.contains("bystander"))
+        .expect("bystander");
     assert_eq!(bystander.code, 0);
 }
 
 #[test]
 fn wild_pointer_is_a_segfault_not_a_hang() {
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 1, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 1,
+        ..Default::default()
+    });
     bw.spawn(0, "wild", 0, |ctx| {
         ctx.touch(0xFFFF_FFFF);
         ctx.compute(1_000_000); // forces the touch batch to flush
@@ -83,7 +96,10 @@ fn wild_pointer_is_a_segfault_not_a_hang() {
 
 #[test]
 fn app_panic_is_contained_as_exit_code_101() {
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 2, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 2,
+        ..Default::default()
+    });
     bw.spawn(0, "crasher", 0, |_ctx| panic!("numerical blow-up"));
     bw.spawn(1, "survivor", 0, |ctx| {
         ctx.compute(5_000_000);
@@ -105,10 +121,15 @@ fn trace_ring_overflow_drops_oldest_but_keeps_running() {
     d.set_instrumentation(InstrumentationLevel::Full);
     let mut now = 0;
     for i in 0..100u64 {
-        let req = BlockRequest { sector: (i as u32 * 100) & !1, nsectors: 2, op: Op::Write, origin: Origin::Log, token: i };
-        match d.submit(now, req) {
-            SubmitOutcome::Dispatched { completes_at } => now = completes_at,
-            _ => {}
+        let req = BlockRequest {
+            sector: (i as u32 * 100) & !1,
+            nsectors: 2,
+            op: Op::Write,
+            origin: Origin::Log,
+            token: i,
+        };
+        if let SubmitOutcome::Dispatched { completes_at } = d.submit(now, req) {
+            now = completes_at
         }
         if d.busy() {
             let (_, next) = d.on_complete(now);
@@ -117,7 +138,10 @@ fn trace_ring_overflow_drops_oldest_but_keeps_running() {
             }
         }
     }
-    assert!(d.trace_dropped() > 0, "the 16-slot ring must have overflowed");
+    assert!(
+        d.trace_dropped() > 0,
+        "the 16-slot ring must have overflowed"
+    );
     assert_eq!(d.trace_len(), 16);
     assert_eq!(d.stats().dispatched, 100, "I/O service was never impeded");
 }
@@ -126,15 +150,28 @@ fn trace_ring_overflow_drops_oldest_but_keeps_running() {
 fn zero_length_and_bad_fd_syscalls_error_cleanly() {
     use ess_io_study::apps::CtxExt;
     use ess_io_study::kernel::{SysError, SysResult, Syscall};
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 1, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 1,
+        ..Default::default()
+    });
     bw.spawn(0, "prober", 0, |ctx| {
         let r = ctx.sys(Syscall::MapAnon { pages: 0 });
         assert_eq!(r, SysResult::Err(SysError::Invalid));
-        let r = ctx.sys(Syscall::ReadAt { fd: 42, offset: 0, len: 8 });
+        let r = ctx.sys(Syscall::ReadAt {
+            fd: 42,
+            offset: 0,
+            len: 8,
+        });
         assert_eq!(r, SysResult::Err(SysError::BadFd));
-        let r = ctx.sys(Syscall::Open { path: "/nope".into(), create: false, placement: Placement::User });
+        let r = ctx.sys(Syscall::Open {
+            path: "/nope".into(),
+            create: false,
+            placement: Placement::User,
+        });
         assert_eq!(r, SysResult::Err(SysError::NotFound));
-        let r = ctx.sys(Syscall::Unlink { path: "/nope".into() });
+        let r = ctx.sys(Syscall::Unlink {
+            path: "/nope".into(),
+        });
         assert_eq!(r, SysResult::Err(SysError::NotFound));
         0
     });

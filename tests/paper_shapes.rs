@@ -10,7 +10,11 @@ use ess_io_study::trace::analysis::{series, SizeClass};
 use ess_io_study::trace::Op;
 
 fn baseline() -> ExperimentResult {
-    Experiment::baseline().quick().duration_secs(300).seed(101).run()
+    Experiment::baseline()
+        .quick()
+        .duration_secs(300)
+        .seed(101)
+        .run()
 }
 
 #[test]
@@ -27,7 +31,11 @@ fn baseline_is_write_only_small_requests_at_known_sectors() {
     let low = r.trace.iter().filter(|t| t.sector < 100_000).count();
     let high = r.trace.iter().filter(|t| t.sector >= 900_000).count();
     assert!(low > 0 && high > 0);
-    assert_eq!(low + high, r.trace.len(), "nothing outside the system areas");
+    assert_eq!(
+        low + high,
+        r.trace.len(),
+        "nothing outside the system areas"
+    );
     // Rate in the paper's ballpark (0.9/s per disk; accept a factor ~2).
     let rate = r.per_disk_rw().req_per_sec();
     assert!((0.4..1.8).contains(&rate), "baseline per-disk rate {rate}");
@@ -106,9 +114,15 @@ fn read_write_mix_ordering_matches_table1() {
         nb.summary.rw.read_pct(),
     );
     assert_eq!(b, 0.0);
-    assert!(w > n && w > p, "wavelet ({w}) must be the most read-heavy (ppm {p}, nbody {n})");
+    assert!(
+        w > n && w > p,
+        "wavelet ({w}) must be the most read-heavy (ppm {p}, nbody {n})"
+    );
     assert!(w > 30.0, "wavelet read share near half, got {w}");
-    assert!(p < 35.0 && n < 35.0, "simulation codes are write-dominated (ppm {p}, nbody {n})");
+    assert!(
+        p < 35.0 && n < 35.0,
+        "simulation codes are write-dominated (ppm {p}, nbody {n})"
+    );
 }
 
 #[test]
@@ -139,7 +153,11 @@ fn combined_spatial_locality_is_pareto_like_at_low_sectors() {
     let below = c.trace.iter().filter(|t| t.sector < 400_000).count();
     assert!(below as f64 > 0.8 * c.trace.len() as f64);
     // §5: "almost follows the [80/20] rule".
-    assert!(c.summary.spatial.is_pareto_like(0.7), "top20 = {}", c.summary.spatial.top20_fraction);
+    assert!(
+        c.summary.spatial.is_pareto_like(0.7),
+        "top20 = {}",
+        c.summary.spatial.top20_fraction
+    );
     assert!(c.summary.spatial.gini > 0.5);
 }
 
@@ -159,7 +177,11 @@ fn combined_temporal_hot_spots_sit_in_log_and_swap_areas() {
     // busiest swap sector from the raw trace.
     use std::collections::HashMap;
     let mut swap_counts: HashMap<u32, u32> = HashMap::new();
-    for rec in c.trace.iter().filter(|r| (300_000..400_000).contains(&r.sector)) {
+    for rec in c
+        .trace
+        .iter()
+        .filter(|r| (300_000..400_000).contains(&r.sector))
+    {
         *swap_counts.entry(rec.sector).or_insert(0) += 1;
     }
     let (busiest, _) = swap_counts
@@ -170,8 +192,14 @@ fn combined_temporal_hot_spots_sit_in_log_and_swap_areas() {
     // the very first slot sits at the boundary and the busiest slot in the
     // populated top span.
     let top = swap_counts.keys().max().expect("swap sectors");
-    assert!(*top >= 399_000, "top swap sector at {top} (slot 0 is just under 400,000)");
-    assert!(*busiest > 340_000, "busiest swap sector at {busiest} (expected in the populated top span)");
+    assert!(
+        *top >= 399_000,
+        "top swap sector at {top} (slot 0 is just under 400,000)"
+    );
+    assert!(
+        *busiest > 340_000,
+        "busiest swap sector at {busiest} (expected in the populated top span)"
+    );
 }
 
 #[test]
@@ -187,7 +215,12 @@ fn size_classes_identify_activity_truthfully() {
     assert!(purity_4k > 0.95, "4 KB requests are paging: {purity_4k}");
     let purity_1k = c.summary.sizes.class_purity(
         SizeClass::B1K,
-        &[Origin::Log, Origin::Metadata, Origin::FileData, Origin::TraceDump],
+        &[
+            Origin::Log,
+            Origin::Metadata,
+            Origin::FileData,
+            Origin::TraceDump,
+        ],
     );
     assert!(purity_1k > 0.95, "1 KB requests are block I/O: {purity_1k}");
 }

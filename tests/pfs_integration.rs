@@ -7,7 +7,11 @@ use essio::pfsio;
 
 #[test]
 fn striped_writes_land_on_every_member_disk() {
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 3, seed: 1, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 3,
+        seed: 1,
+        ..Default::default()
+    });
     let svc = pfsio::spawn_service(&mut bw);
     let svc2 = svc.clone();
     let my_task = bw.next_task();
@@ -27,7 +31,11 @@ fn striped_writes_land_on_every_member_disk() {
     for n in 0..3u8 {
         let writes = trace
             .iter()
-            .filter(|r| r.node == n && r.op == ess_io_study::trace::Op::Write && (60_000..940_000).contains(&r.sector))
+            .filter(|r| {
+                r.node == n
+                    && r.op == ess_io_study::trace::Op::Write
+                    && (60_000..940_000).contains(&r.sector)
+            })
             .count();
         assert!(writes > 0, "node {n} must have received segment writes");
     }
@@ -35,7 +43,11 @@ fn striped_writes_land_on_every_member_disk() {
 
 #[test]
 fn coordinated_access_is_never_torn_across_many_clients() {
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 4, seed: 2, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 4,
+        seed: 2,
+        ..Default::default()
+    });
     let svc = pfsio::spawn_service(&mut bw);
     // Every node runs a client that repeatedly rewrites the shared
     // parafile with its own byte and checks reads are uniform.
@@ -70,7 +82,11 @@ fn coordinated_access_is_never_torn_across_many_clients() {
 
 #[test]
 fn parafile_reads_of_unwritten_ranges_are_zero_filled() {
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 2, seed: 3, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 2,
+        seed: 3,
+        ..Default::default()
+    });
     let svc = pfsio::spawn_service(&mut bw);
     let svc2 = svc.clone();
     let my_task = bw.next_task();
@@ -79,7 +95,10 @@ fn parafile_reads_of_unwritten_ranges_are_zero_filled() {
         let mut pf = pfsio::ParaFile::open("sparse", spec, &svc2, my_task);
         pf.write(ctx, 8192, b"hello");
         let head = pf.read(ctx, 0, 8192);
-        assert!(head.iter().all(|&b| b == 0), "unwritten prefix reads as zeros");
+        assert!(
+            head.iter().all(|&b| b == 0),
+            "unwritten prefix reads as zeros"
+        );
         let tail = pf.read(ctx, 8192, 5);
         assert_eq!(tail, b"hello");
         pfsio::shutdown(ctx, &svc2);
@@ -91,7 +110,11 @@ fn parafile_reads_of_unwritten_ranges_are_zero_filled() {
 
 #[test]
 fn pfs_traffic_is_visible_to_the_characterization_pipeline() {
-    let mut bw = Beowulf::new(BeowulfConfig { nodes: 2, seed: 4, ..Default::default() });
+    let mut bw = Beowulf::new(BeowulfConfig {
+        nodes: 2,
+        seed: 4,
+        ..Default::default()
+    });
     let svc = pfsio::spawn_service(&mut bw);
     let svc2 = svc.clone();
     let my_task = bw.next_task();
