@@ -29,6 +29,7 @@ fn drive(policy: SchedPolicy, n: u64) -> u64 {
             op: Op::Write,
             origin: Origin::FileData,
             token: i,
+            relocated: false,
         };
         if let SubmitOutcome::Dispatched { completes_at } = d.submit(now, req) {
             deadline = Some(completes_at);

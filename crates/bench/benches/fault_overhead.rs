@@ -1,0 +1,78 @@
+//! Cost of the fault plane.
+//!
+//! Two questions:
+//! * what does carrying an *empty* [`FaultPlan`] cost a run? (The design
+//!   goal is zero: with no oracle installed every fault check is a `None`
+//!   branch and the trace is bit-identical.)
+//! * what does an active plan cost when faults actually fire — the price
+//!   of the retry/retransmit machinery on top of the virtual-time
+//!   penalties it models?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use essio::prelude::*;
+use std::hint::black_box;
+
+fn quick() -> Experiment {
+    Experiment::nbody().quick().seed(17)
+}
+
+fn degraded_plan() -> FaultPlan {
+    // Harsher than `degraded_drive()`: a quick run issues few enough disk
+    // commands that the preset's 1-in-400 media-error period rarely fires.
+    FaultPlan::none()
+        .seed(5)
+        .disk(DiskFaultConfig {
+            media_error_every: 40,
+            slow_every: 25,
+            ..Default::default()
+        })
+        .net(NetFaultConfig::lossy_segment())
+}
+
+fn bench(c: &mut Criterion) {
+    // Report the virtual-time stretch once (not timed): an active plan
+    // slows the *simulated* cluster; the bench below times the *host*.
+    let clean = quick().run();
+    let faulty = quick().faults(degraded_plan()).run();
+    eprintln!(
+        "[fault plane] virtual run time clean {:.3}s vs degraded {:.3}s ({} retries, {} retransmits)",
+        clean.duration as f64 / 1e6,
+        faulty.duration as f64 / 1e6,
+        faulty
+            .degradation
+            .nodes
+            .iter()
+            .map(|n| n.retries)
+            .sum::<u64>(),
+        faulty.degradation.retransmits,
+    );
+    let empty_plan = quick().faults(FaultPlan::none().seed(123)).run();
+    assert_eq!(
+        clean.trace, empty_plan.trace,
+        "an empty plan must be invisible"
+    );
+
+    let mut g = c.benchmark_group("fault_overhead");
+    g.sample_size(10);
+    g.bench_function("no_plan", |b| {
+        b.iter(|| black_box(quick().run().trace.len()))
+    });
+    g.bench_function("empty_plan", |b| {
+        b.iter(|| {
+            black_box(
+                quick()
+                    .faults(FaultPlan::none().seed(123))
+                    .run()
+                    .trace
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("degraded_plan", |b| {
+        b.iter(|| black_box(quick().faults(degraded_plan()).run().trace.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -14,10 +14,12 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     // Virtual-time perturbation check (run once; reported, not timed).
     let run = |level: InstrumentationLevel| {
-        let mut e = Experiment::nbody().quick().seed(3);
-        e.cluster.instrumentation = level;
-        e.cluster.spool_trace = false; // isolate the hook itself
-        let r = e.run();
+        let r = Experiment::nbody()
+            .quick()
+            .seed(3)
+            .instrumentation(level)
+            .spool_trace(false) // isolate the hook itself
+            .run();
         (r.duration, r.exits.iter().map(|x| x.at).max().unwrap_or(0))
     };
     let (d_off, exit_off) = run(InstrumentationLevel::Off);

@@ -13,10 +13,8 @@ use essio::prelude::*;
 use essio_trace::analysis::SizeClass;
 use essio_trace::Op;
 
-fn run(mutate: impl FnOnce(&mut Experiment)) -> ExperimentResult {
-    let mut e = Experiment::wavelet().quick().seed(99);
-    mutate(&mut e);
-    e.run()
+fn run(mutate: impl FnOnce(Experiment) -> Experiment) -> ExperimentResult {
+    mutate(Experiment::wavelet().quick().seed(99)).run()
 }
 
 fn main() {
@@ -24,16 +22,14 @@ fn main() {
     let base = if full {
         Experiment::wavelet().seed(99).run()
     } else {
-        run(|_| {})
+        run(|e| e)
     };
 
     println!("== read-ahead ablation ==");
     let no_ra = if full {
-        let mut e = Experiment::wavelet().seed(99);
-        e.cluster.readahead = false;
-        e.run()
+        Experiment::wavelet().seed(99).readahead(false).run()
     } else {
-        run(|e| e.cluster.readahead = false)
+        run(|e| e.readahead(false))
     };
     let big = |r: &ExperimentResult| {
         r.trace
@@ -59,8 +55,8 @@ fn main() {
     );
 
     println!("== scheduler ablation (elevator vs FIFO) ==");
-    let fifo = run(|e| e.cluster.sched = essio_disk::SchedPolicy::Fifo);
-    let elev = run(|e| e.cluster.sched = essio_disk::SchedPolicy::Elevator);
+    let fifo = run(|e| e.sched(essio_disk::SchedPolicy::Fifo));
+    let elev = run(|e| e.sched(essio_disk::SchedPolicy::Elevator));
     println!(
         "  requests: elevator {}, fifo {} (same workload; scheduling changes service order/latency, not demand)",
         elev.trace.len(),
@@ -69,14 +65,14 @@ fn main() {
 
     println!("== buffer cache size sweep ==");
     for blocks in [256usize, 1536, 4096] {
-        let r = run(|e| e.cluster.cache_blocks = blocks);
+        let r = run(|e| e.cache_blocks(blocks));
         let writes = r.trace.iter().filter(|t| t.op == Op::Write).count();
         println!("  {blocks:>5} blocks -> {} physical writes", writes);
     }
 
     println!("== frame pool sweep (paging pressure) ==");
     for frames in [2048u32, 3072, 4096] {
-        let r = run(|e| e.cluster.frames_user = frames);
+        let r = run(|e| e.frames_user(frames));
         let pages = r.summary.sizes.count(SizeClass::Page4K);
         println!("  {frames:>5} frames -> {} 4KB paging requests", pages);
     }

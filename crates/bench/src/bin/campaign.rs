@@ -13,16 +13,50 @@
 //! * the sketch views (hot-sector sketch, inter-arrival histogram).
 //!
 //! Usage: `campaign [--seeds N] [--kind baseline|ppm|wavelet|nbody|combined]
-//! [--full]` — defaults: 8 seeds, combined, quick scale.
+//! [--faults none|disk|net|crash|all] [--full]` — defaults: 8 seeds,
+//! combined, no faults, quick scale.
+//!
+//! With `--faults`, every seed runs under the same deterministic
+//! [`FaultPlan`] preset; seeds that end degraded (or crash outright) are
+//! reported in a Degradation section and the merged statistics are
+//! computed from whatever completed — a failed seed is never fatal to the
+//! campaign.
 
 use rayon::prelude::*;
 
 use essio::prelude::*;
 use essio_stream::{merge_all, StreamConfig, StreamSummary};
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FaultPreset {
+    None,
+    Disk,
+    Net,
+    Crash,
+    All,
+}
+
+impl FaultPreset {
+    /// The plan this preset injects on a cluster of `nodes` nodes.
+    fn plan(self, nodes: u8) -> FaultPlan {
+        let base = FaultPlan::none().seed(0xFA17);
+        match self {
+            FaultPreset::None => FaultPlan::none(),
+            FaultPreset::Disk => base.disk(DiskFaultConfig::degraded_drive()),
+            FaultPreset::Net => base.net(NetFaultConfig::lossy_segment()),
+            FaultPreset::Crash => base.crash(nodes.saturating_sub(1), 30_000_000),
+            FaultPreset::All => base
+                .disk(DiskFaultConfig::degraded_drive())
+                .net(NetFaultConfig::lossy_segment())
+                .crash(nodes.saturating_sub(1), 30_000_000),
+        }
+    }
+}
+
 struct Args {
     seeds: u64,
     kind: ExperimentKind,
+    faults: FaultPreset,
     full: bool,
 }
 
@@ -30,6 +64,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         seeds: 8,
         kind: ExperimentKind::Combined,
+        faults: FaultPreset::None,
         full: false,
     };
     let mut it = std::env::args().skip(1);
@@ -59,9 +94,22 @@ fn parse_args() -> Args {
                     }
                 };
             }
+            "--faults" => {
+                args.faults = match it.next().unwrap_or_default().as_str() {
+                    "none" => FaultPreset::None,
+                    "disk" => FaultPreset::Disk,
+                    "net" => FaultPreset::Net,
+                    "crash" => FaultPreset::Crash,
+                    "all" => FaultPreset::All,
+                    other => {
+                        eprintln!("unknown fault preset {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--full" => args.full = true,
             "--help" | "-h" => {
-                eprintln!("usage: campaign [--seeds N] [--kind baseline|ppm|wavelet|nbody|combined] [--full]");
+                eprintln!("usage: campaign [--seeds N] [--kind baseline|ppm|wavelet|nbody|combined] [--faults none|disk|net|crash|all] [--full]");
                 std::process::exit(0);
             }
             other => {
@@ -73,7 +121,7 @@ fn parse_args() -> Args {
     args
 }
 
-fn experiment(kind: ExperimentKind, full: bool, seed: u64) -> Experiment {
+fn experiment(kind: ExperimentKind, full: bool, seed: u64, faults: FaultPreset) -> Experiment {
     let e = match kind {
         ExperimentKind::Baseline => Experiment::baseline(),
         ExperimentKind::Ppm => Experiment::ppm(),
@@ -82,7 +130,8 @@ fn experiment(kind: ExperimentKind, full: bool, seed: u64) -> Experiment {
         ExperimentKind::Combined => Experiment::combined(),
     };
     let e = if full { e } else { e.quick() };
-    e.seed(seed)
+    let nodes = e.cluster.nodes;
+    e.seed(seed).faults(faults.plan(nodes))
 }
 
 fn main() {
@@ -103,15 +152,35 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let seeds: Vec<u64> = (1..=args.seeds).collect();
-    let runs: Vec<(u64, StreamedRun, StreamSummary)> = seeds
+    // A seed that dies (panics) under fault injection is reported and
+    // merged-around, never fatal to the campaign.
+    let outcomes: Vec<(u64, Option<(StreamedRun, StreamSummary)>)> = seeds
         .into_par_iter()
         .map(|seed| {
-            let (run, summary) =
-                experiment(kind, args.full, seed).run_streamed(StreamSummary::new(cfg));
-            (seed, run, summary)
+            let result = std::panic::catch_unwind(|| {
+                experiment(kind, args.full, seed, args.faults).run_streamed(StreamSummary::new(cfg))
+            });
+            (seed, result.ok())
         })
         .collect();
     eprintln!("campaign finished in {:.2?} host time", t0.elapsed());
+
+    let failed: Vec<u64> = outcomes
+        .iter()
+        .filter(|(_, r)| r.is_none())
+        .map(|(s, _)| *s)
+        .collect();
+    let runs: Vec<(u64, StreamedRun, StreamSummary)> = outcomes
+        .into_iter()
+        .filter_map(|(seed, r)| r.map(|(run, summary)| (seed, run, summary)))
+        .collect();
+    if runs.is_empty() {
+        println!("every seed failed under the fault plan; nothing to merge");
+        if !failed.is_empty() {
+            println!("failed seeds: {failed:?}");
+        }
+        return;
+    }
 
     let nodes = runs.first().map(|(_, r, _)| r.nodes).unwrap_or(1).max(1) as u64;
     let total_duration: u64 = runs.iter().map(|(_, r, _)| r.duration).sum();
@@ -124,6 +193,13 @@ fn main() {
             let rw = s.rw.finalize(run.duration);
             (*seed, rw.read_pct(), rw.req_per_sec(), rw.total)
         })
+        .collect();
+
+    // Per-seed degradation (before the shards are consumed by the merge).
+    let degraded: Vec<(u64, String)> = runs
+        .iter()
+        .filter(|(_, run, _)| !run.degradation.is_clean())
+        .map(|(seed, run, _)| (*seed, run.degradation.report()))
         .collect();
 
     // Cross-seed reduction: parallel shard merge, then one report.
@@ -165,6 +241,27 @@ fn main() {
         100.0 * max_rate_dev / mean_rate.max(1e-9)
     );
     println!();
+
+    if args.faults != FaultPreset::None || !degraded.is_empty() || !failed.is_empty() {
+        println!(
+            "Degradation ({} of {} seeds degraded):",
+            degraded.len(),
+            per_seed.len()
+        );
+        if degraded.is_empty() && failed.is_empty() {
+            println!("  all seeds clean");
+        }
+        for (seed, report) in &degraded {
+            println!("  seed {seed}:");
+            for line in report.lines().skip(1) {
+                println!("  {line}");
+            }
+        }
+        if !failed.is_empty() {
+            println!("  seeds that died and were merged around: {failed:?}");
+        }
+        println!();
+    }
 
     println!(
         "{}",

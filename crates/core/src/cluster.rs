@@ -17,10 +17,12 @@
 use std::collections::HashMap;
 
 use essio_apps::{AppCall, AppReply};
+use essio_faults::{FaultPlan, NetFaultState};
 use essio_kernel::{Kernel, KernelConfig, Pid, Placement};
 use essio_net::{BarrierOutcome, Ethernet, Message, NetConfig, NetOp, NetResult, Pvm, TaskId};
 use essio_sim::{Engine, ProcConfig, ProcMsg, ProcessHost, SimTime};
 use essio_trace::{InstrumentationLevel, RecordSink, TraceRecord};
+use serde::Serialize;
 
 use essio_kernel::daemons::DaemonKind;
 use essio_kernel::kernel::{Outcome, TouchOutcome, WakeKind};
@@ -32,6 +34,9 @@ pub enum Event {
     Disk {
         /// Node index.
         node: u8,
+        /// Node incarnation the event was scheduled in (stale after a
+        /// crash: the request died with the node's RAM).
+        epoch: u32,
     },
     /// A kernel daemon tick.
     Daemon {
@@ -39,6 +44,8 @@ pub enum Event {
         node: u8,
         /// Which daemon.
         kind: DaemonKind,
+        /// Node incarnation the tick was scheduled in.
+        epoch: u32,
     },
     /// Resume a hosted process (optionally delivering a reply).
     Resume {
@@ -62,6 +69,16 @@ pub enum Event {
     /// Periodic host-side trace collection (the experiment's proc-fs
     /// reader keeping up with the ring buffer).
     DrainTraces,
+    /// A node power-fails mid-run (from the [`FaultPlan`]).
+    Crash {
+        /// Node index.
+        node: u8,
+    },
+    /// A crashed node comes back up (daemons only; its processes are gone).
+    Restart {
+        /// Node index.
+        node: u8,
+    },
 }
 
 /// Cluster configuration.
@@ -89,6 +106,10 @@ pub struct BeowulfConfig {
     pub drain_every_us: SimTime,
     /// Optional deterministic disk fault injection (every Nth command).
     pub disk_fault_every: Option<u64>,
+    /// Deterministic fault plan (disk media faults, frame loss, node
+    /// crashes). The default plan is empty and the fault plane is then
+    /// completely inert: traces are bit-identical with or without it.
+    pub faults: FaultPlan,
 }
 
 impl Default for BeowulfConfig {
@@ -105,6 +126,7 @@ impl Default for BeowulfConfig {
             net: NetConfig::default(),
             drain_every_us: 5_000_000,
             disk_fault_every: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -127,6 +149,116 @@ struct NodeSim {
     /// clock (processor-sharing approximation at ~10 ms granularity; this
     /// is what stretches the combined run toward the paper's 700 s).
     computing: u32,
+    /// Node incarnation; bumped at every crash so queued disk/daemon
+    /// events from the previous life are recognized as stale and dropped.
+    epoch: u32,
+    alive: bool,
+    crashed: bool,
+    restarted: bool,
+    trace_lost: u64,
+    dirty_lost: u64,
+}
+
+/// Fault and recovery accounting for one node after a run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct NodeDegradation {
+    /// Node index.
+    pub node: u8,
+    /// Uncorrectable media (ECC) errors the drive reported.
+    pub media_errors: u64,
+    /// Commands aborted at the stuck-command timeout.
+    pub stuck_timeouts: u64,
+    /// Commands served slowly by drive-internal recovery.
+    pub slow_commands: u64,
+    /// Failed physical requests the kernel resubmitted.
+    pub retries: u64,
+    /// Requests relocated to the spare region after exhausting retries.
+    pub relocations: u64,
+    /// The node power-failed during the run.
+    pub crashed: bool,
+    /// The node came back up after its crash.
+    pub restarted: bool,
+    /// Undrained trace records discarded with the node's RAM.
+    pub trace_records_lost: u64,
+    /// Dirty buffer-cache blocks that never reached the disk.
+    pub dirty_blocks_lost: u64,
+}
+
+impl NodeDegradation {
+    /// No fault ever touched this node.
+    pub fn is_clean(&self) -> bool {
+        self.media_errors == 0
+            && self.stuck_timeouts == 0
+            && self.slow_commands == 0
+            && self.retries == 0
+            && self.relocations == 0
+            && !self.crashed
+    }
+}
+
+/// How far a run departed from the fault-free ideal: per-node disk fault
+/// and recovery counters, cluster-wide network-layer losses, and the list
+/// of nodes that died and stayed down. An empty [`FaultPlan`] always
+/// yields a clean report.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Degradation {
+    /// Per-node accounting, indexed by node.
+    pub nodes: Vec<NodeDegradation>,
+    /// Frames lost on the wire (injected).
+    pub frames_lost: u64,
+    /// Frames duplicated by the medium (injected).
+    pub frames_dup: u64,
+    /// Frames retransmitted by the PVM reliability layer.
+    pub retransmits: u64,
+    /// Duplicate copies discarded at receivers.
+    pub dup_dropped: u64,
+    /// Nodes that crashed and never restarted.
+    pub lost_nodes: Vec<u8>,
+}
+
+impl Degradation {
+    /// Did the run complete without a single injected fault firing?
+    pub fn is_clean(&self) -> bool {
+        self.nodes.iter().all(NodeDegradation::is_clean)
+            && self.frames_lost == 0
+            && self.frames_dup == 0
+            && self.retransmits == 0
+            && self.dup_dropped == 0
+            && self.lost_nodes.is_empty()
+    }
+
+    /// Human-readable multi-line report (empty string when clean).
+    pub fn report(&self) -> String {
+        if self.is_clean() {
+            return String::new();
+        }
+        let mut out = String::from("Degradation:\n");
+        for n in self.nodes.iter().filter(|n| !n.is_clean()) {
+            out.push_str(&format!(
+                "  node {}: {} media err, {} stuck, {} slow, {} retries, {} relocated",
+                n.node, n.media_errors, n.stuck_timeouts, n.slow_commands, n.retries, n.relocations,
+            ));
+            if n.crashed {
+                out.push_str(&format!(
+                    ", CRASHED{} ({} trace records, {} dirty blocks lost)",
+                    if n.restarted { "+restarted" } else { "" },
+                    n.trace_records_lost,
+                    n.dirty_blocks_lost,
+                ));
+            }
+            out.push('\n');
+        }
+        if self.frames_lost + self.frames_dup + self.retransmits + self.dup_dropped > 0 {
+            out.push_str(&format!(
+                "  net: {} frames lost, {} duplicated, {} retransmits, {} dups dropped\n",
+                self.frames_lost, self.frames_dup, self.retransmits, self.dup_dropped,
+            ));
+        }
+        if !self.lost_nodes.is_empty() {
+            out.push_str(&format!("  lost nodes: {:?}\n", self.lost_nodes));
+        }
+        out
+    }
 }
 
 /// A finished process.
@@ -138,7 +270,8 @@ pub struct ProcExit {
     pub pid: Pid,
     /// Its name.
     pub name: String,
-    /// Exit code (0 = success; 101 = panic; 139 = killed by the kernel).
+    /// Exit code (0 = success; 101 = panic; 139 = killed by the kernel;
+    /// 137 = node crash; 124 = reaped by the stall watchdog).
     pub code: i32,
     /// Virtual time of exit.
     pub at: SimTime,
@@ -160,7 +293,24 @@ pub struct Beowulf {
     keep_trace: bool,
     exits: Vec<ProcExit>,
     booted: bool,
+    /// Virtual time of the last application-side progress (resume, compute
+    /// completion, exit). Drives the stall watchdog when the fault plan
+    /// schedules crashes.
+    last_activity: SimTime,
 }
+
+/// How long surviving processes may sit with no progress after a crash
+/// before the watchdog reaps them (virtual µs). Only armed when the fault
+/// plan schedules at least one crash; a lost peer otherwise deadlocks a
+/// barrier or receive forever.
+const STALL_WATCHDOG_US: SimTime = 60_000_000;
+
+/// Exit code for processes reaped by the stall watchdog (mirrors the
+/// conventional shell timeout code).
+pub const STALLED_EXIT_CODE: i32 = 124;
+
+/// Exit code for processes killed by a node crash (128 + SIGKILL).
+pub const CRASHED_EXIT_CODE: i32 = 137;
 
 /// Fixed CPU costs of the messaging layer on the host side, µs.
 const NET_SEND_US: SimTime = 300;
@@ -180,6 +330,8 @@ impl Beowulf {
             kc.cache_blocks = cfg.cache_blocks;
             kc.seed = cfg.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(n as u64 + 1));
             kc.timing.fault_every = cfg.disk_fault_every;
+            kc.fault_seed = cfg.seed ^ cfg.faults.seed;
+            kc.disk_faults = cfg.faults.disk.clone();
             let mut kernel = Kernel::new(kc);
             kernel.set_instrumentation(cfg.instrumentation);
             nodes.push(NodeSim {
@@ -188,9 +340,21 @@ impl Beowulf {
                 started: HashMap::new(),
                 pending: HashMap::new(),
                 computing: 0,
+                epoch: 0,
+                alive: true,
+                crashed: false,
+                restarted: false,
+                trace_lost: 0,
+                dirty_lost: 0,
             });
         }
-        let pvm = Pvm::new(Ethernet::new(cfg.net.clone()));
+        let mut pvm = Pvm::new(Ethernet::new(cfg.net.clone()));
+        if let Some(net) = &cfg.faults.net {
+            pvm.ether_mut().set_faults(Some(NetFaultState::new(
+                cfg.seed ^ cfg.faults.seed,
+                net.clone(),
+            )));
+        }
         Self {
             cfg,
             engine: Engine::new(),
@@ -206,6 +370,7 @@ impl Beowulf {
             keep_trace: true,
             exits: Vec::new(),
             booted: false,
+            last_activity: 0,
         }
     }
 
@@ -213,16 +378,20 @@ impl Beowulf {
     /// is pushed into `sink` as it arrives (streaming analytics hook). The
     /// raw trace is still collected for [`Beowulf::take_trace`] unless
     /// [`Beowulf::set_keep_trace`]`(false)` is also called.
-    pub fn set_tap(&mut self, sink: Box<dyn RecordSink>) {
-        self.tap = Some(sink);
+    ///
+    /// Accepts any sink (a `Box<dyn RecordSink>` works too — boxes forward
+    /// the trait) and returns the previously installed tap so callers can
+    /// swap or chain sinks mid-run.
+    pub fn set_tap(&mut self, sink: impl RecordSink + 'static) -> Option<Box<dyn RecordSink>> {
+        self.tap.replace(Box::new(sink))
     }
 
     /// Whether drained records are also accumulated in the host-side trace
     /// vector (default `true`). Turning this off with a tap installed gives
     /// bounded-memory runs: records live only in the kernel rings and the
-    /// tap's incremental state.
-    pub fn set_keep_trace(&mut self, keep: bool) {
-        self.keep_trace = keep;
+    /// tap's incremental state. Returns the previous setting.
+    pub fn set_keep_trace(&mut self, keep: bool) -> bool {
+        std::mem::replace(&mut self.keep_trace, keep)
     }
 
     /// Number of nodes.
@@ -291,19 +460,33 @@ impl Beowulf {
         self.booted = true;
         let now = self.engine.now();
         for n in 0..self.cfg.nodes {
-            for (at, ev) in self.nodes[n as usize].kernel.boot_deadlines(now) {
-                match ev {
-                    essio_kernel::KernelEvent::Daemon(kind) => {
-                        self.engine.schedule_at(at, Event::Daemon { node: n, kind });
-                    }
-                    essio_kernel::KernelEvent::DiskComplete => {
-                        self.engine.schedule_at(at, Event::Disk { node: n });
-                    }
-                }
+            self.schedule_kernel_events(n, now);
+        }
+        for crash in self.cfg.faults.crashes.clone() {
+            if crash.node < self.cfg.nodes {
+                self.engine
+                    .schedule_at(crash.at_us, Event::Crash { node: crash.node });
             }
         }
         self.engine
             .schedule_in(self.cfg.drain_every_us, Event::DrainTraces);
+    }
+
+    /// (Re)schedule a node's daemon timers and any pending disk deadline —
+    /// at boot and again after a restart.
+    fn schedule_kernel_events(&mut self, node: u8, now: SimTime) {
+        let epoch = self.nodes[node as usize].epoch;
+        for (at, ev) in self.nodes[node as usize].kernel.boot_deadlines(now) {
+            match ev {
+                essio_kernel::KernelEvent::Daemon(kind) => {
+                    self.engine
+                        .schedule_at(at, Event::Daemon { node, kind, epoch });
+                }
+                essio_kernel::KernelEvent::DiskComplete => {
+                    self.engine.schedule_at(at, Event::Disk { node, epoch });
+                }
+            }
+        }
     }
 
     /// Run until the virtual clock reaches `end` (events beyond stay queued).
@@ -324,12 +507,20 @@ impl Beowulf {
     /// last exit.
     pub fn run_apps(&mut self, settle_us: SimTime) -> SimTime {
         self.boot();
+        let watchdog = !self.cfg.faults.crashes.is_empty();
         while self.live > 0 {
             let (now, ev) = self
                 .engine
                 .pop()
                 .expect("daemon timers keep the queue non-empty while apps live");
             self.handle(now, ev);
+            // With a crashed peer, survivors can block forever in a
+            // barrier or receive that no one will ever complete. The
+            // watchdog reaps them after a long quiet period so the run
+            // (and its trace) still terminates.
+            if watchdog && self.live > 0 && now > self.last_activity + STALL_WATCHDOG_US {
+                self.reap_stalled(now);
+            }
         }
         let last_exit = self
             .exits
@@ -372,6 +563,46 @@ impl Beowulf {
         (e.messages, e.bytes)
     }
 
+    /// How far this run departed from the fault-free ideal. Clean (and
+    /// cheap) when the fault plan is empty.
+    pub fn degradation(&self) -> Degradation {
+        let nodes: Vec<NodeDegradation> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, ns)| {
+                let d = ns.kernel.driver_stats();
+                let r = ns.kernel.retry_stats();
+                NodeDegradation {
+                    node: i as u8,
+                    media_errors: d.media_errors,
+                    stuck_timeouts: d.stuck_timeouts,
+                    slow_commands: d.slow_commands,
+                    retries: r.retries,
+                    relocations: r.relocations,
+                    crashed: ns.crashed,
+                    restarted: ns.restarted,
+                    trace_records_lost: ns.trace_lost,
+                    dirty_blocks_lost: ns.dirty_lost,
+                }
+            })
+            .collect();
+        let lost_nodes = nodes
+            .iter()
+            .filter(|n| n.crashed && !n.restarted)
+            .map(|n| n.node)
+            .collect();
+        let e = self.pvm.ether();
+        Degradation {
+            nodes,
+            frames_lost: e.frames_lost,
+            frames_dup: e.frames_dup,
+            retransmits: self.pvm.retransmits,
+            dup_dropped: self.pvm.dup_dropped,
+            lost_nodes,
+        }
+    }
+
     fn drain_traces(&mut self) {
         for n in self.nodes.iter_mut() {
             match (&mut self.tap, self.keep_trace) {
@@ -410,8 +641,15 @@ impl Beowulf {
 
     fn schedule_disk(&mut self, node: u8, deadline: Option<SimTime>) {
         if let Some(at) = deadline {
-            self.engine.schedule_at(at, Event::Disk { node });
+            let epoch = self.nodes[node as usize].epoch;
+            self.engine.schedule_at(at, Event::Disk { node, epoch });
         }
+    }
+
+    /// Is this disk/daemon event from the node's current incarnation?
+    fn current(&self, node: u8, epoch: u32) -> bool {
+        let ns = &self.nodes[node as usize];
+        ns.alive && ns.epoch == epoch
     }
 
     fn handle(&mut self, now: SimTime, ev: Event) {
@@ -421,18 +659,27 @@ impl Beowulf {
                 self.engine
                     .schedule_in(self.cfg.drain_every_us, Event::DrainTraces);
             }
-            Event::Daemon { node, kind } => {
+            Event::Daemon { node, kind, epoch } => {
+                if !self.current(node, epoch) {
+                    return; // the node died; its timers died with it
+                }
                 let (disk, next) = self.nodes[node as usize].kernel.daemon_tick(now, kind);
                 self.schedule_disk(node, disk);
-                self.engine.schedule_at(next, Event::Daemon { node, kind });
+                self.engine
+                    .schedule_at(next, Event::Daemon { node, kind, epoch });
             }
-            Event::Disk { node } => {
+            Event::Disk { node, epoch } => {
+                if !self.current(node, epoch) {
+                    return; // in-flight request lost with the node
+                }
                 let (wakes, next) = self.nodes[node as usize].kernel.disk_complete(now);
                 self.schedule_disk(node, next);
                 for (pid, wake) in wakes {
                     self.handle_wake(now, node, pid, wake);
                 }
             }
+            Event::Crash { node } => self.crash_node(now, node),
+            Event::Restart { node } => self.restart_node(now, node),
             Event::Resume { node, pid, reply } => {
                 self.resume_proc(now, node, pid, reply);
             }
@@ -491,7 +738,75 @@ impl Beowulf {
         }
     }
 
+    /// Power-fail a node: every process on it dies (exit 137), undrained
+    /// trace records and dirty cache blocks are lost, and all queued
+    /// disk/daemon events become stale via the epoch bump.
+    fn crash_node(&mut self, now: SimTime, node: u8) {
+        if !self.nodes[node as usize].alive {
+            return;
+        }
+        // Drain what the host-side collector already fetched; anything
+        // still in the kernel ring dies with the RAM.
+        self.drain_traces();
+        let pids: Vec<Pid> = self.nodes[node as usize].hosts.keys().copied().collect();
+        for pid in pids {
+            self.fail_proc(now, node, pid, CRASHED_EXIT_CODE, "node crash");
+        }
+        let ns = &mut self.nodes[node as usize];
+        let report = ns.kernel.power_fail();
+        ns.trace_lost += report.trace_records_lost;
+        ns.dirty_lost += report.dirty_blocks_lost;
+        ns.alive = false;
+        ns.crashed = true;
+        ns.epoch += 1;
+        ns.computing = 0;
+        ns.pending.clear();
+        if let Some(crash) = self
+            .cfg
+            .faults
+            .crashes
+            .iter()
+            .find(|c| c.node == node && c.at_us <= now)
+        {
+            if let Some(delay) = crash.restart_after_us {
+                self.engine
+                    .schedule_at(now + delay, Event::Restart { node });
+            }
+        }
+        self.last_activity = now;
+    }
+
+    /// Bring a crashed node back: daemons restart, the filesystem is
+    /// intact, but its processes are gone for good (no checkpointing on
+    /// the Beowulf).
+    fn restart_node(&mut self, now: SimTime, node: u8) {
+        let ns = &mut self.nodes[node as usize];
+        if ns.alive {
+            return;
+        }
+        ns.alive = true;
+        ns.restarted = true;
+        self.schedule_kernel_events(node, now);
+        self.last_activity = now;
+    }
+
+    /// Watchdog action: reap every surviving process — they have made no
+    /// progress for [`STALL_WATCHDOG_US`] and are assumed blocked on a
+    /// peer that died.
+    fn reap_stalled(&mut self, now: SimTime) {
+        let stalled: Vec<(u8, Pid)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(n, ns)| ns.hosts.keys().map(move |&pid| (n as u8, pid)))
+            .collect();
+        for (node, pid) in stalled {
+            self.fail_proc(now, node, pid, STALLED_EXIT_CODE, "stalled");
+        }
+    }
+
     fn resume_proc(&mut self, now: SimTime, node: u8, pid: Pid, reply: Option<AppReply>) {
+        self.last_activity = now;
         let ns = &mut self.nodes[node as usize];
         let Some(host) = ns.hosts.get_mut(&pid) else {
             return; // process died while a wake was in flight
@@ -563,14 +878,17 @@ impl Beowulf {
             .expect("spawned via Beowulf::spawn");
         match op {
             NetOp::Send { to, tag, data } => {
-                let msg = Message {
+                let mut msg = Message {
                     from: task,
                     to,
                     tag,
                     data,
+                    seq: 0, // stamped by Pvm::send
                 };
-                let delivery = self.pvm.send(now, &msg);
-                self.engine.schedule_at(delivery, Event::NetDeliver(msg));
+                let plan = self.pvm.send(now, &mut msg);
+                for at in plan.deliveries {
+                    self.engine.schedule_at(at, Event::NetDeliver(msg.clone()));
+                }
                 self.engine.schedule_at(
                     now + NET_SEND_US,
                     Event::Resume {
@@ -636,13 +954,17 @@ impl Beowulf {
     }
 
     fn kill_proc(&mut self, now: SimTime, node: u8, pid: Pid, reason: &'static str) {
+        self.fail_proc(now, node, pid, 139, reason);
+    }
+
+    fn fail_proc(&mut self, now: SimTime, node: u8, pid: Pid, code: i32, reason: &'static str) {
         let name = self.names.get(&(node, pid)).cloned().unwrap_or_default();
         let name = format!("{name} ({reason})");
         self.exits.push(ProcExit {
             node,
             pid,
             name,
-            code: 139,
+            code,
             at: now,
         });
         self.teardown(node, pid);
@@ -829,6 +1151,168 @@ mod tests {
         });
         bw.run_apps(1_000_000);
         assert!(bw.exits()[0].at >= 30_000_000);
+    }
+
+    #[test]
+    fn empty_fault_plan_leaves_the_trace_bit_identical() {
+        let run = |faults: FaultPlan| {
+            let cfg = BeowulfConfig {
+                nodes: 2,
+                drain_every_us: 1_000_000,
+                faults,
+                ..Default::default()
+            };
+            let mut bw = Beowulf::new(cfg);
+            bw.install_file(0, "/in", Placement::User, &vec![3u8; 16 * 1024]);
+            bw.spawn(0, "reader", 0, |ctx| {
+                let mut f = essio_apps::SimFile::open(ctx, "/in", false, Placement::User);
+                for _ in 0..16 {
+                    f.read(ctx, 1024);
+                    ctx.compute(20_000);
+                }
+                f.close(ctx);
+                0
+            });
+            bw.run_apps(12_000_000);
+            let deg = bw.degradation();
+            (bw.take_trace(), deg)
+        };
+        let (plain, _) = run(FaultPlan::none());
+        let (with_plan, deg) = run(FaultPlan::none().seed(99));
+        assert_eq!(plain, with_plan, "inert fault plane must not perturb");
+        assert!(deg.is_clean());
+        assert_eq!(deg.report(), "");
+    }
+
+    #[test]
+    fn disk_faults_surface_in_the_degradation_report() {
+        use essio_faults::DiskFaultConfig;
+        let cfg = BeowulfConfig {
+            nodes: 1,
+            drain_every_us: 1_000_000,
+            faults: FaultPlan::none().disk(DiskFaultConfig {
+                media_error_every: 5,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut bw = Beowulf::new(cfg);
+        bw.install_file(0, "/in", Placement::User, &vec![1u8; 64 * 1024]);
+        bw.spawn(0, "reader", 0, |ctx| {
+            let mut f = essio_apps::SimFile::open(ctx, "/in", false, Placement::User);
+            for _ in 0..64 {
+                f.read(ctx, 1024);
+            }
+            f.close(ctx);
+            0
+        });
+        bw.run_apps(12_000_000);
+        assert!(bw.exits().iter().all(|e| e.code == 0), "{:?}", bw.exits());
+        let deg = bw.degradation();
+        assert!(!deg.is_clean());
+        assert!(deg.nodes[0].media_errors > 0);
+        assert!(deg.nodes[0].retries > 0);
+        assert!(deg.report().contains("media err"));
+    }
+
+    #[test]
+    fn node_crash_kills_its_processes_and_cluster_survives() {
+        let cfg = BeowulfConfig {
+            nodes: 2,
+            drain_every_us: 1_000_000,
+            faults: FaultPlan::none().crash(1, 5_000_000),
+            ..Default::default()
+        };
+        let mut bw = Beowulf::new(cfg);
+        // Node 0: long but self-contained work. Node 1: dies mid-run.
+        for n in 0..2u8 {
+            bw.spawn(n, "worker", 0, move |ctx| {
+                for _ in 0..40 {
+                    ctx.compute(500_000);
+                }
+                0
+            });
+        }
+        bw.run_apps(1_000_000);
+        let codes: Vec<(u8, i32)> = bw.exits().iter().map(|e| (e.node, e.code)).collect();
+        assert!(codes.contains(&(0, 0)), "survivor finishes: {codes:?}");
+        assert!(
+            codes.contains(&(1, CRASHED_EXIT_CODE)),
+            "crashed node's process dies: {codes:?}"
+        );
+        let deg = bw.degradation();
+        assert!(deg.nodes[1].crashed && !deg.nodes[1].restarted);
+        assert_eq!(deg.lost_nodes, vec![1]);
+        assert!(deg.report().contains("CRASHED"));
+    }
+
+    #[test]
+    fn crashed_node_can_restart_and_its_daemons_tick_again() {
+        let cfg = BeowulfConfig {
+            nodes: 2,
+            drain_every_us: 1_000_000,
+            faults: FaultPlan::none().crash_restart(1, 5_000_000, 10_000_000),
+            ..Default::default()
+        };
+        let mut bw = Beowulf::new(cfg);
+        bw.run_until(120_000_000);
+        let deg = bw.degradation();
+        assert!(deg.nodes[1].crashed && deg.nodes[1].restarted);
+        assert!(deg.lost_nodes.is_empty(), "a restarted node is not lost");
+        // Daemon writes resumed after the restart: the node's trace has
+        // records from its second life.
+        let trace = bw.take_trace();
+        assert!(
+            trace.iter().any(|r| r.node == 1 && r.ts > 15_000_000),
+            "node 1 must write again after restarting"
+        );
+    }
+
+    #[test]
+    fn watchdog_reaps_survivors_blocked_on_a_dead_peer() {
+        let cfg = BeowulfConfig {
+            nodes: 2,
+            drain_every_us: 1_000_000,
+            faults: FaultPlan::none().crash(1, 2_000_000),
+            ..Default::default()
+        };
+        let mut bw = Beowulf::new(cfg);
+        // Task 1 (node 0) waits for a message its dead peer never sends.
+        bw.spawn(0, "waiter", 0, |ctx| {
+            match ctx.net(NetOp::Recv {
+                from: None,
+                tag: None,
+            }) {
+                NetResult::Message(_) => 0,
+                other => panic!("{other:?}"),
+            }
+        });
+        bw.spawn(1, "mute", 0, move |ctx| {
+            for _ in 0..100 {
+                ctx.compute(1_000_000);
+            }
+            0
+        });
+        bw.run_apps(1_000_000);
+        let codes: Vec<(u8, i32)> = bw.exits().iter().map(|e| (e.node, e.code)).collect();
+        assert!(codes.contains(&(1, CRASHED_EXIT_CODE)), "{codes:?}");
+        assert!(
+            codes.contains(&(0, STALLED_EXIT_CODE)),
+            "watchdog must reap the orphaned waiter: {codes:?}"
+        );
+    }
+
+    #[test]
+    fn set_tap_and_set_keep_trace_return_prior_values() {
+        let mut bw = small_cluster(1);
+        assert!(
+            bw.set_tap(Vec::<TraceRecord>::new()).is_none(),
+            "no tap installed yet"
+        );
+        let prior = bw.set_tap(Vec::<TraceRecord>::new());
+        assert!(prior.is_some(), "swapping returns the old tap");
+        assert!(bw.set_keep_trace(false), "default is to keep the trace");
+        assert!(!bw.set_keep_trace(true));
     }
 
     #[test]

@@ -14,12 +14,13 @@
 //! [`TraceSummary`].
 
 use essio_apps::{nbody::NbodyConfig, ppm::PpmConfig, wavelet::WaveletConfig};
+use essio_faults::FaultPlan;
 use essio_sim::SimTime;
 use essio_trace::analysis::{RwStats, TraceSummary};
 use essio_trace::sink::SharedSink;
-use essio_trace::{RecordSink, TraceRecord};
+use essio_trace::{InstrumentationLevel, RecordSink, TraceRecord};
 
-use crate::cluster::{Beowulf, BeowulfConfig, ProcExit};
+use crate::cluster::{Beowulf, BeowulfConfig, Degradation, ProcExit};
 use crate::workloads;
 
 /// Which experiment to run.
@@ -51,6 +52,14 @@ impl ExperimentKind {
 }
 
 /// An experiment specification (builder).
+///
+/// Every knob the benches and ablation sweeps need is reachable through a
+/// chainable setter ([`Experiment::nodes`], [`Experiment::seed`],
+/// [`Experiment::sched`], [`Experiment::readahead`],
+/// [`Experiment::cache_blocks`], [`Experiment::faults`], …). The fields
+/// stay `pub` for construction-by-struct-update in existing code, but
+/// direct field mutation is deprecated in favour of the setters — new
+/// knobs will only get setters.
 #[derive(Debug, Clone)]
 pub struct Experiment {
     /// Which experiment.
@@ -125,6 +134,62 @@ impl Experiment {
         self
     }
 
+    /// Set the post-exit write-back settling window.
+    pub fn settle_secs(mut self, secs: u64) -> Self {
+        self.settle_secs = secs;
+        self
+    }
+
+    /// Set the disk scheduler policy (ablation knob).
+    pub fn sched(mut self, sched: essio_disk::SchedPolicy) -> Self {
+        self.cluster.sched = sched;
+        self
+    }
+
+    /// Enable or disable read-ahead (ablation knob).
+    pub fn readahead(mut self, on: bool) -> Self {
+        self.cluster.readahead = on;
+        self
+    }
+
+    /// Set the per-node buffer-cache capacity in blocks (ablation knob).
+    pub fn cache_blocks(mut self, blocks: usize) -> Self {
+        self.cluster.cache_blocks = blocks;
+        self
+    }
+
+    /// Set the per-node user frame pool (ablation knob).
+    pub fn frames_user(mut self, frames: u32) -> Self {
+        self.cluster.frames_user = frames;
+        self
+    }
+
+    /// Spool the instrumentation trace to disk (its own I/O), or not.
+    pub fn spool_trace(mut self, on: bool) -> Self {
+        self.cluster.spool_trace = on;
+        self
+    }
+
+    /// Set the instrumentation level for every node.
+    pub fn instrumentation(mut self, level: InstrumentationLevel) -> Self {
+        self.cluster.instrumentation = level;
+        self
+    }
+
+    /// Inject a legacy timing fault every Nth disk command.
+    pub fn disk_fault_every(mut self, every: Option<u64>) -> Self {
+        self.cluster.disk_fault_every = every;
+        self
+    }
+
+    /// Attach a deterministic fault plan (disk media errors, frame loss,
+    /// node crashes). An empty plan leaves the run bit-identical to one
+    /// without it.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cluster.faults = plan;
+        self
+    }
+
     /// A fast variant for tests and smoke runs: 2 nodes, short workloads.
     /// Paging behaviour is preserved (footprints stay above the frame
     /// pool); only durations, grid sizes and particle counts shrink.
@@ -153,7 +218,7 @@ impl Experiment {
     /// Run the experiment.
     pub fn run(self) -> ExperimentResult {
         let kind = self.kind;
-        let (nodes, duration, trace, exits) = self.execute(None);
+        let (nodes, duration, trace, exits, degradation) = self.execute(None);
         let summary = TraceSummary::compute(&trace, duration, Self::total_sectors());
         ExperimentResult {
             kind,
@@ -162,6 +227,7 @@ impl Experiment {
             trace,
             summary,
             exits,
+            degradation,
         }
     }
 
@@ -181,7 +247,7 @@ impl Experiment {
         let kind = self.kind;
         let shared = SharedSink::new(sink);
         let tap = Box::new(shared.clone());
-        let (nodes, duration, trace, exits) = self.execute(Some(tap));
+        let (nodes, duration, trace, exits, degradation) = self.execute(Some(tap));
         debug_assert!(trace.is_empty(), "streaming run must not keep the trace");
         let sink = shared
             .try_unwrap()
@@ -192,6 +258,7 @@ impl Experiment {
                 nodes,
                 duration,
                 exits,
+                degradation,
             },
             sink,
         )
@@ -208,7 +275,7 @@ impl Experiment {
     fn execute(
         self,
         tap: Option<Box<dyn RecordSink>>,
-    ) -> (u8, SimTime, Vec<TraceRecord>, Vec<ProcExit>) {
+    ) -> (u8, SimTime, Vec<TraceRecord>, Vec<ProcExit>, Degradation) {
         let mut bw = Beowulf::new(self.cluster.clone());
         if let Some(tap) = tap {
             bw.set_tap(tap);
@@ -249,7 +316,8 @@ impl Experiment {
         let trace = bw.take_trace();
         let nodes = bw.nodes();
         let exits = bw.exits().to_vec();
-        (nodes, duration, trace, exits)
+        let degradation = bw.degradation();
+        (nodes, duration, trace, exits, degradation)
     }
 }
 
@@ -266,6 +334,8 @@ pub struct StreamedRun {
     pub duration: SimTime,
     /// Process exits (empty for the baseline).
     pub exits: Vec<ProcExit>,
+    /// Fault and recovery accounting (clean when no plan was attached).
+    pub degradation: Degradation,
 }
 
 impl StreamedRun {
@@ -295,6 +365,8 @@ pub struct ExperimentResult {
     pub summary: TraceSummary,
     /// Process exits (empty for the baseline).
     pub exits: Vec<ProcExit>,
+    /// Fault and recovery accounting (clean when no plan was attached).
+    pub degradation: Degradation,
 }
 
 impl ExperimentResult {
@@ -419,6 +491,58 @@ mod tests {
         assert_eq!(a.trace, b.trace);
         let c = Experiment::nbody().quick().seed(8).run();
         assert_ne!(a.trace, c.trace, "different seeds must differ");
+    }
+
+    #[test]
+    fn builder_setters_reach_every_cluster_knob() {
+        use essio_faults::{DiskFaultConfig, FaultPlan};
+        let e = Experiment::combined()
+            .nodes(4)
+            .seed(11)
+            .settle_secs(5)
+            .sched(essio_disk::SchedPolicy::Fifo)
+            .readahead(false)
+            .cache_blocks(256)
+            .frames_user(512)
+            .spool_trace(false)
+            .instrumentation(InstrumentationLevel::Off)
+            .disk_fault_every(Some(1000))
+            .faults(
+                FaultPlan::none()
+                    .seed(9)
+                    .disk(DiskFaultConfig::degraded_drive()),
+            );
+        assert_eq!(e.cluster.nodes, 4);
+        assert_eq!(e.cluster.seed, 11);
+        assert_eq!(e.settle_secs, 5);
+        assert_eq!(e.cluster.sched, essio_disk::SchedPolicy::Fifo);
+        assert!(!e.cluster.readahead);
+        assert_eq!(e.cluster.cache_blocks, 256);
+        assert_eq!(e.cluster.frames_user, 512);
+        assert!(!e.cluster.spool_trace);
+        assert_eq!(e.cluster.instrumentation, InstrumentationLevel::Off);
+        assert_eq!(e.cluster.disk_fault_every, Some(1000));
+        assert!(!e.cluster.faults.is_empty());
+    }
+
+    #[test]
+    fn faulty_runs_are_reproducible_and_report_degradation() {
+        use essio_faults::{DiskFaultConfig, FaultPlan};
+        let exp = || {
+            Experiment::nbody()
+                .quick()
+                .seed(7)
+                .faults(FaultPlan::none().seed(3).disk(DiskFaultConfig {
+                    media_error_every: 40,
+                    slow_every: 25,
+                    ..Default::default()
+                }))
+        };
+        let a = exp().run();
+        let b = exp().run();
+        assert_eq!(a.trace, b.trace, "same seed + same plan = same trace");
+        assert!(!a.degradation.is_clean(), "a degraded drive leaves marks");
+        assert!(a.degradation.nodes.iter().any(|n| n.retries > 0));
     }
 
     #[test]

@@ -43,9 +43,10 @@ pub mod workloads;
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::cluster::{Beowulf, BeowulfConfig};
+    pub use crate::cluster::{Beowulf, BeowulfConfig, Degradation, NodeDegradation};
     pub use crate::experiment::{Experiment, ExperimentKind, ExperimentResult, StreamedRun};
     pub use crate::figures;
     pub use crate::model::WorkloadModel;
+    pub use essio_faults::{DiskFaultConfig, FaultPlan, NetFaultConfig, NodeCrash};
     pub use essio_trace::analysis::TraceSummary;
 }

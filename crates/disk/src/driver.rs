@@ -18,6 +18,7 @@
 //! `on_complete` hands back the finished request's tokens and, if more work
 //! is queued, the next deadline.
 
+use essio_faults::{DiskFault, DiskFaultState};
 use essio_sim::SimTime;
 use essio_trace::{InstrumentationLevel, Op, Origin, RecordSink, TraceBuffer, TraceRecord};
 
@@ -39,6 +40,10 @@ pub struct BlockRequest {
     pub origin: Origin,
     /// Caller token returned on completion.
     pub token: ReqToken,
+    /// Retry relocated to a spare region after repeated failures: exempt
+    /// from fault injection and from merging (it must appear in the trace
+    /// as its own physical request, as on the instrumented hardware).
+    pub relocated: bool,
 }
 
 /// Outcome of a `submit`.
@@ -67,6 +72,11 @@ pub struct Completion {
     pub sector: u32,
     /// Sectors transferred.
     pub nsectors: u16,
+    /// Provenance of the request's first constituent (needed to resubmit).
+    pub origin: Origin,
+    /// The command failed (media error or stuck-command abort): no data
+    /// was transferred and the caller must retry or relocate.
+    pub failed: bool,
 }
 
 /// Driver lifetime statistics.
@@ -86,6 +96,14 @@ pub struct DriverStats {
     pub max_queue_depth: usize,
     /// Commands that suffered an injected fault/retry.
     pub faults: u64,
+    /// Commands that returned an uncorrectable media (ECC) error.
+    pub media_errors: u64,
+    /// Commands aborted at the stuck-command timeout.
+    pub stuck_timeouts: u64,
+    /// Commands served slowly (drive-internal recovery).
+    pub slow_commands: u64,
+    /// Relocated retries dispatched (fault-exempt spare-region transfers).
+    pub relocated: u64,
 }
 
 /// The per-node instrumented IDE driver + drive pair.
@@ -96,6 +114,8 @@ pub struct IdeDriver {
     queue: RequestQueue,
     trace: TraceBuffer,
     in_flight: Option<QueuedRequest>,
+    in_flight_failed: bool,
+    faults: Option<DiskFaultState>,
     head_pos: u32,
     commands: u64,
     stats: DriverStats,
@@ -110,6 +130,8 @@ impl IdeDriver {
             queue: RequestQueue::new(policy, 64),
             trace: TraceBuffer::new(trace_capacity),
             in_flight: None,
+            in_flight_failed: false,
+            faults: None,
             head_pos: 0,
             commands: 0,
             stats: DriverStats::default(),
@@ -119,6 +141,28 @@ impl IdeDriver {
     /// The ioctl: change instrumentation level at runtime.
     pub fn set_instrumentation(&mut self, level: InstrumentationLevel) {
         self.trace.set_level(level);
+    }
+
+    /// Install (or clear) the deterministic fault oracle for this drive.
+    pub fn set_faults(&mut self, faults: Option<DiskFaultState>) {
+        self.faults = faults;
+    }
+
+    /// The installed fault oracle, if any.
+    pub fn faults(&self) -> Option<&DiskFaultState> {
+        self.faults.as_ref()
+    }
+
+    /// Power failure: the in-flight command and every queued request vanish
+    /// (no completions will be delivered); buffered trace records are lost
+    /// with the node's RAM. Returns the number of trace records discarded.
+    pub fn power_fail(&mut self) -> u64 {
+        self.in_flight = None;
+        self.in_flight_failed = false;
+        self.queue.clear();
+        let lost = self.trace.len() as u64;
+        self.trace.drain(usize::MAX);
+        lost
     }
 
     /// Current instrumentation level.
@@ -179,6 +223,7 @@ impl IdeDriver {
             op: req.op,
             origin: req.origin,
             tokens: vec![req.token],
+            relocated: req.relocated,
         };
         if self.in_flight.is_some() {
             return if self.queue.push(queued) {
@@ -200,16 +245,22 @@ impl IdeDriver {
             .in_flight
             .take()
             .expect("on_complete without an in-flight request");
+        let failed = self.in_flight_failed;
+        self.in_flight_failed = false;
         self.head_pos = done.end();
-        match done.op {
-            Op::Read => self.stats.read_sectors += done.nsectors as u64,
-            Op::Write => self.stats.written_sectors += done.nsectors as u64,
+        if !failed {
+            match done.op {
+                Op::Read => self.stats.read_sectors += done.nsectors as u64,
+                Op::Write => self.stats.written_sectors += done.nsectors as u64,
+            }
         }
         let completion = Completion {
             tokens: done.tokens,
             op: done.op,
             sector: done.sector,
             nsectors: done.nsectors,
+            origin: done.origin,
+            failed,
         };
         let next = self
             .queue
@@ -221,12 +272,41 @@ impl IdeDriver {
     /// Send a physical request to the drive; **this is the instrumented
     /// read/write handler** — the trace entry is generated here.
     fn dispatch(&mut self, now: SimTime, req: QueuedRequest) -> SimTime {
-        let service =
+        let mut service =
             self.timing
                 .service_us(self.head_pos, req.sector, req.nsectors, self.commands);
         if self.timing.is_faulted(self.commands) {
             self.stats.faults += 1;
         }
+        // The deterministic fault plane: what happens to this command is a
+        // pure function of (plan seed, node, command index). Relocated
+        // retries target a known-good spare region and are exempt.
+        let mut failed = false;
+        if let Some(oracle) = &self.faults {
+            if req.relocated {
+                self.stats.relocated += 1;
+            } else {
+                match oracle.decide(self.commands) {
+                    DiskFault::None => {}
+                    DiskFault::Slow => {
+                        service += oracle.config().slow_penalty_us;
+                        self.stats.slow_commands += 1;
+                    }
+                    DiskFault::MediaError => {
+                        failed = true;
+                        self.stats.media_errors += 1;
+                    }
+                    DiskFault::Stuck => {
+                        // The drive hangs; the driver gives up at the
+                        // timeout and reports the command failed.
+                        service = oracle.config().stuck_timeout_us;
+                        failed = true;
+                        self.stats.stuck_timeouts += 1;
+                    }
+                }
+            }
+        }
+        self.in_flight_failed = failed;
         self.commands += 1;
         self.stats.dispatched += 1;
         self.stats.busy_us += service;
@@ -266,6 +346,7 @@ mod tests {
             op,
             origin: Origin::FileData,
             token,
+            relocated: false,
         }
     }
 
@@ -402,6 +483,123 @@ mod tests {
     #[should_panic(expected = "without an in-flight")]
     fn completing_idle_drive_panics() {
         driver().on_complete(0);
+    }
+
+    #[test]
+    fn media_error_fails_completion_after_full_service() {
+        use essio_faults::{DiskFaultConfig, DiskFaultState};
+        let mut d = driver();
+        // every=1 ⇒ the hash trial fires on (almost) every command; find
+        // the first command index that actually faults.
+        d.set_faults(Some(DiskFaultState::new(
+            0,
+            0,
+            DiskFaultConfig {
+                media_error_every: 1,
+                ..Default::default()
+            },
+        )));
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Write))
+        else {
+            panic!()
+        };
+        let (c, _) = d.on_complete(completes_at);
+        assert!(c.failed, "media_error_every=1 fails every command");
+        assert_eq!(c.origin, Origin::FileData);
+        assert_eq!(d.stats().media_errors, 1);
+        assert_eq!(d.stats().written_sectors, 0, "no data transferred");
+    }
+
+    #[test]
+    fn stuck_command_aborts_at_timeout() {
+        use essio_faults::{DiskFaultConfig, DiskFaultState};
+        let mut d = driver();
+        d.set_faults(Some(DiskFaultState::new(
+            0,
+            0,
+            DiskFaultConfig {
+                stuck_every: 1,
+                stuck_timeout_us: 500_000,
+                ..Default::default()
+            },
+        )));
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Read))
+        else {
+            panic!()
+        };
+        assert_eq!(completes_at, 500_000, "busy exactly until the timeout");
+        let (c, _) = d.on_complete(completes_at);
+        assert!(c.failed);
+        assert_eq!(d.stats().stuck_timeouts, 1);
+    }
+
+    #[test]
+    fn slow_command_adds_penalty_but_succeeds() {
+        use essio_faults::{DiskFaultConfig, DiskFaultState};
+        let mut clean = driver();
+        let SubmitOutcome::Dispatched {
+            completes_at: clean_at,
+        } = clean.submit(0, breq(1, 100, 2, Op::Read))
+        else {
+            panic!()
+        };
+        let mut d = driver();
+        d.set_faults(Some(DiskFaultState::new(
+            0,
+            0,
+            DiskFaultConfig {
+                slow_every: 1,
+                slow_penalty_us: 60_000,
+                ..Default::default()
+            },
+        )));
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, breq(1, 100, 2, Op::Read))
+        else {
+            panic!()
+        };
+        assert_eq!(completes_at, clean_at + 60_000);
+        let (c, _) = d.on_complete(completes_at);
+        assert!(!c.failed, "slow commands still succeed");
+        assert_eq!(d.stats().slow_commands, 1);
+    }
+
+    #[test]
+    fn relocated_requests_are_fault_exempt() {
+        use essio_faults::{DiskFaultConfig, DiskFaultState};
+        let mut d = driver();
+        d.set_faults(Some(DiskFaultState::new(
+            0,
+            0,
+            DiskFaultConfig {
+                media_error_every: 1,
+                stuck_every: 1,
+                ..Default::default()
+            },
+        )));
+        let mut req = breq(1, 100, 2, Op::Write);
+        req.relocated = true;
+        let SubmitOutcome::Dispatched { completes_at } = d.submit(0, req) else {
+            panic!()
+        };
+        let (c, _) = d.on_complete(completes_at);
+        assert!(!c.failed, "relocated transfers always succeed");
+        assert_eq!(d.stats().relocated, 1);
+        assert_eq!(d.stats().media_errors, 0);
+    }
+
+    #[test]
+    fn power_fail_discards_queue_and_trace() {
+        let mut d = driver();
+        d.submit(0, breq(1, 100, 2, Op::Write));
+        d.submit(1, breq(2, 5000, 2, Op::Read));
+        d.submit(2, breq(3, 9000, 2, Op::Read));
+        assert!(d.busy());
+        assert!(d.trace_len() > 0);
+        let lost = d.power_fail();
+        assert_eq!(lost, 1, "one dispatch had been recorded");
+        assert!(!d.busy());
+        assert_eq!(d.queue_depth(), 0);
+        assert_eq!(d.trace_len(), 0);
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub struct QueuedRequest {
     pub origin: Origin,
     /// Logical requests folded into this physical one.
     pub tokens: Vec<ReqToken>,
+    /// Fault-exempt relocated retry; never merged, so it re-enters the
+    /// trace as its own physical request.
+    pub relocated: bool,
 }
 
 impl QueuedRequest {
@@ -92,14 +95,24 @@ impl RequestQueue {
         self.merges
     }
 
+    /// Drop every queued request (power failure).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
     /// Insert a request, merging with a queued contiguous same-direction
     /// request when possible. Returns `true` if it merged.
     pub fn push(&mut self, req: QueuedRequest) -> bool {
         debug_assert!(req.nsectors > 0, "zero-length request");
         // Back-merge: an existing request ends where this one starts.
         // Front-merge: an existing request starts where this one ends.
+        // Relocated retries never merge: they must dispatch as their own
+        // physical command against the spare region.
         for q in self.queue.iter_mut() {
-            if q.op != req.op {
+            if req.relocated {
+                break;
+            }
+            if q.op != req.op || q.relocated {
                 continue;
             }
             let combined = q.nsectors as u32 + req.nsectors as u32;
@@ -179,7 +192,22 @@ mod tests {
             op,
             origin: Origin::FileData,
             tokens: vec![sector as u64],
+            relocated: false,
         }
+    }
+
+    #[test]
+    fn relocated_requests_never_merge() {
+        let mut q = RequestQueue::new(SchedPolicy::Elevator, 64);
+        q.push(req(100, 2, Op::Write));
+        let mut r = req(102, 2, Op::Write);
+        r.relocated = true;
+        assert!(!q.push(r), "relocated must not merge");
+        assert_eq!(q.len(), 2);
+        // Nor does anything merge into a queued relocated request.
+        assert!(!q.push(req(104, 2, Op::Write)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.merges(), 0);
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn run_driver(
                 op: if r.read { Op::Read } else { Op::Write },
                 origin: essio_trace::Origin::FileData,
                 token: i as u64,
+                relocated: false,
             },
         );
         if let SubmitOutcome::Dispatched { completes_at } = outcome {

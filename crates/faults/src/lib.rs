@@ -1,0 +1,436 @@
+//! The deterministic fault plane.
+//!
+//! The paper's runs were fault-free, but the production environment it
+//! emulates (§6, "a typical production environment") was not: IDE drives
+//! grow media defects and occasionally hang on a command, 10 Mb/s Ethernet
+//! drops and duplicates frames, and whole nodes power-cycle mid-campaign.
+//! This crate describes such failures as data — a [`FaultPlan`] — so that a
+//! run with faults is exactly as reproducible as a run without: every
+//! injection decision is a pure function of *(plan seed, node, event
+//! index)*, never of wall-clock state or iteration order.
+//!
+//! Two layers:
+//!
+//! * **Plan** ([`FaultPlan`], [`DiskFaultConfig`], [`NetFaultConfig`],
+//!   [`NodeCrash`]) — plain serializable data, what the operator writes
+//!   down. An empty plan is the default and injects nothing.
+//! * **State** ([`DiskFaultState`], [`NetFaultState`]) — the per-node /
+//!   per-medium decision engines the simulator consults on its hot paths.
+//!   They are stateless hash oracles: `decide(i)` for the same `i` always
+//!   answers the same, which is what makes retries, trace bytes, and merged
+//!   summaries bit-identical across re-runs of the same seed + plan.
+//!
+//! The consumers live in `essio-disk` (media errors, slow and stuck
+//! commands), `essio-net` (frame loss/duplication + PVM retransmit), and
+//! `essio-core` (node crash/restart scheduling and the degradation report).
+
+#![warn(missing_docs)]
+
+use essio_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic 1-in-`every` trial: true when the hash of `(key, salt,
+/// index)` lands in the `1/every` bucket. `every == 0` disables the trial.
+#[inline]
+fn one_in(key: u64, salt: u64, index: u64, every: u64) -> bool {
+    if every == 0 {
+        return false;
+    }
+    mix(key ^ salt.wrapping_mul(0xA24BAED4963EE407) ^ mix(index)).is_multiple_of(every)
+}
+
+/// Disk-level fault rates and the recovery budget the kernel applies.
+///
+/// Rates are 1-in-N per *dispatched command* (0 disables a kind); each
+/// command suffers at most one fault, with precedence stuck > media error >
+/// slow. Recovery: the kernel retries a failed command up to
+/// [`DiskFaultConfig::max_retries`] times, then relocates it to a spare
+/// region, which always succeeds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskFaultConfig {
+    /// 1-in-N commands returns a media (ECC) error after full service.
+    pub media_error_every: u64,
+    /// 1-in-N commands is served slowly (thermal recalibration, internal
+    /// retries inside the drive).
+    pub slow_every: u64,
+    /// Extra service time for a slow command, µs.
+    pub slow_penalty_us: u64,
+    /// 1-in-N commands hangs; the driver aborts it at the timeout.
+    pub stuck_every: u64,
+    /// Abort deadline for a stuck command, µs.
+    pub stuck_timeout_us: u64,
+    /// Failed-command retries before the kernel relocates the request.
+    pub max_retries: u32,
+}
+
+impl Default for DiskFaultConfig {
+    fn default() -> Self {
+        Self {
+            media_error_every: 0,
+            slow_every: 0,
+            slow_penalty_us: 60_000,
+            stuck_every: 0,
+            stuck_timeout_us: 2_000_000,
+            max_retries: 3,
+        }
+    }
+}
+
+impl DiskFaultConfig {
+    /// A moderately unhealthy drive: occasional slow commands, rare media
+    /// errors, very rare hangs.
+    pub fn degraded_drive() -> Self {
+        Self {
+            media_error_every: 400,
+            slow_every: 60,
+            stuck_every: 2_000,
+            ..Self::default()
+        }
+    }
+
+    /// True when no disk fault kind is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.media_error_every == 0 && self.slow_every == 0 && self.stuck_every == 0
+    }
+}
+
+/// Ethernet fault rates and the PVM retransmit policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetFaultConfig {
+    /// 1-in-N frames is lost on the wire (the sender's channel time is
+    /// still consumed).
+    pub loss_every: u64,
+    /// 1-in-N frames is duplicated by the medium; the receiver sees two
+    /// copies and must drop the second.
+    pub dup_every: u64,
+    /// PVM retransmit timeout for the first retry, µs; doubles per attempt.
+    pub rto_base_us: u64,
+    /// Upper bound on a single backoff interval, µs.
+    pub rto_cap_us: u64,
+    /// Transmission attempts before PVM gives up retrying and the frame is
+    /// forced through (the run must stay live; persistent partitions are
+    /// modeled as node crashes instead).
+    pub max_attempts: u32,
+}
+
+impl Default for NetFaultConfig {
+    fn default() -> Self {
+        Self {
+            loss_every: 0,
+            dup_every: 0,
+            rto_base_us: 2_000,
+            rto_cap_us: 64_000,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl NetFaultConfig {
+    /// A lossy shared segment: noticeable loss, occasional duplication.
+    pub fn lossy_segment() -> Self {
+        Self {
+            loss_every: 50,
+            dup_every: 200,
+            ..Self::default()
+        }
+    }
+
+    /// True when no network fault kind is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.loss_every == 0 && self.dup_every == 0
+    }
+}
+
+/// A scheduled whole-node failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCrash {
+    /// Node to crash.
+    pub node: u8,
+    /// Virtual time of the power failure, µs from boot.
+    pub at_us: SimTime,
+    /// Power-on delay after the crash, µs (`None` = stays down).
+    pub restart_after_us: Option<SimTime>,
+}
+
+/// A complete, serializable fault schedule for one run.
+///
+/// The plan's `seed` is folded together with the cluster's master seed, so
+/// the same master seed + the same plan reproduce every injection decision
+/// bit-for-bit, while changing either re-rolls them all.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Fault-plane seed, mixed with the cluster master seed.
+    pub seed: u64,
+    /// Disk fault rates (applied to every node's drive), if any.
+    pub disk: Option<DiskFaultConfig>,
+    /// Network fault rates (applied to the shared medium), if any.
+    pub net: Option<NetFaultConfig>,
+    /// Scheduled node crashes.
+    pub crashes: Vec<NodeCrash>,
+}
+
+impl FaultPlan {
+    /// An empty plan: injects nothing, byte-identical behaviour to a run
+    /// built without the fault plane.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.disk.as_ref().is_none_or(|d| d.is_empty())
+            && self.net.as_ref().is_none_or(|n| n.is_empty())
+            && self.crashes.is_empty()
+    }
+
+    /// Set the fault-plane seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable disk faults at the given rates.
+    pub fn disk(mut self, cfg: DiskFaultConfig) -> Self {
+        self.disk = Some(cfg);
+        self
+    }
+
+    /// Enable network faults at the given rates.
+    pub fn net(mut self, cfg: NetFaultConfig) -> Self {
+        self.net = Some(cfg);
+        self
+    }
+
+    /// Schedule `node` to crash at `at_us` and stay down.
+    pub fn crash(mut self, node: u8, at_us: SimTime) -> Self {
+        self.crashes.push(NodeCrash {
+            node,
+            at_us,
+            restart_after_us: None,
+        });
+        self
+    }
+
+    /// Schedule `node` to crash at `at_us` and power back on after
+    /// `restart_after_us`.
+    pub fn crash_restart(mut self, node: u8, at_us: SimTime, restart_after_us: SimTime) -> Self {
+        self.crashes.push(NodeCrash {
+            node,
+            at_us,
+            restart_after_us: Some(restart_after_us),
+        });
+        self
+    }
+}
+
+/// What, if anything, happens to one dispatched disk command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Serviced normally.
+    None,
+    /// Serviced after an extra delay.
+    Slow,
+    /// Full service time consumed, then an uncorrectable ECC error.
+    MediaError,
+    /// The drive hangs; the driver aborts the command at its timeout.
+    Stuck,
+}
+
+const SALT_SLOW: u64 = 1;
+const SALT_MEDIA: u64 = 2;
+const SALT_STUCK: u64 = 3;
+const SALT_LOSS: u64 = 4;
+const SALT_DUP: u64 = 5;
+
+/// Per-drive fault oracle: answers "what happens to command `i`?"
+/// deterministically from `(plan seed, node, i)`.
+#[derive(Debug, Clone)]
+pub struct DiskFaultState {
+    cfg: DiskFaultConfig,
+    key: u64,
+}
+
+impl DiskFaultState {
+    /// Build the oracle for `node`'s drive.
+    pub fn new(seed: u64, node: u8, cfg: DiskFaultConfig) -> Self {
+        Self {
+            cfg,
+            key: mix(seed ^ 0xD15C_0000u64.wrapping_add(node as u64)),
+        }
+    }
+
+    /// The configured rates and recovery budget.
+    pub fn config(&self) -> &DiskFaultConfig {
+        &self.cfg
+    }
+
+    /// Decide the fate of the `command_index`-th dispatched command. At
+    /// most one fault kind fires per command (stuck > media error > slow).
+    pub fn decide(&self, command_index: u64) -> DiskFault {
+        if one_in(self.key, SALT_STUCK, command_index, self.cfg.stuck_every) {
+            DiskFault::Stuck
+        } else if one_in(
+            self.key,
+            SALT_MEDIA,
+            command_index,
+            self.cfg.media_error_every,
+        ) {
+            DiskFault::MediaError
+        } else if one_in(self.key, SALT_SLOW, command_index, self.cfg.slow_every) {
+            DiskFault::Slow
+        } else {
+            DiskFault::None
+        }
+    }
+}
+
+/// Shared-medium fault oracle: answers "is frame `i` lost / duplicated?"
+/// deterministically from `(plan seed, i)`.
+#[derive(Debug, Clone)]
+pub struct NetFaultState {
+    cfg: NetFaultConfig,
+    key: u64,
+}
+
+impl NetFaultState {
+    /// Build the oracle for the cluster's shared medium.
+    pub fn new(seed: u64, cfg: NetFaultConfig) -> Self {
+        Self {
+            cfg,
+            key: mix(seed ^ 0xE7E5_E7E5),
+        }
+    }
+
+    /// The configured rates and retransmit policy.
+    pub fn config(&self) -> &NetFaultConfig {
+        &self.cfg
+    }
+
+    /// Is the `frame_index`-th frame on the wire lost?
+    pub fn frame_lost(&self, frame_index: u64) -> bool {
+        one_in(self.key, SALT_LOSS, frame_index, self.cfg.loss_every)
+    }
+
+    /// Is the `frame_index`-th frame duplicated by the medium? (A lost
+    /// frame cannot also duplicate.)
+    pub fn frame_duplicated(&self, frame_index: u64) -> bool {
+        !self.frame_lost(frame_index) && one_in(self.key, SALT_DUP, frame_index, self.cfg.dup_every)
+    }
+
+    /// Backoff before retransmit attempt `attempt` (1-based): exponential
+    /// from `rto_base_us`, capped at `rto_cap_us`.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(20);
+        (self.cfg.rto_base_us << shift).min(self.cfg.rto_cap_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_default() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p, FaultPlan::default());
+        // Configs with all rates zero count as empty too.
+        let p = FaultPlan::none()
+            .disk(DiskFaultConfig::default())
+            .net(NetFaultConfig::default());
+        assert!(p.is_empty());
+        assert!(!FaultPlan::none().crash(3, 1_000).is_empty());
+    }
+
+    #[test]
+    fn disk_decisions_are_deterministic_and_node_dependent() {
+        let cfg = DiskFaultConfig::degraded_drive();
+        let a = DiskFaultState::new(7, 0, cfg.clone());
+        let b = DiskFaultState::new(7, 0, cfg.clone());
+        let c = DiskFaultState::new(7, 1, cfg.clone());
+        let d = DiskFaultState::new(8, 0, cfg);
+        let decisions = |s: &DiskFaultState| (0..10_000).map(|i| s.decide(i)).collect::<Vec<_>>();
+        assert_eq!(decisions(&a), decisions(&b), "same key ⇒ same answers");
+        assert_ne!(decisions(&a), decisions(&c), "node changes the stream");
+        assert_ne!(decisions(&a), decisions(&d), "seed changes the stream");
+    }
+
+    #[test]
+    fn disk_rates_are_roughly_honoured() {
+        let s = DiskFaultState::new(42, 3, DiskFaultConfig::degraded_drive());
+        let n = 120_000u64;
+        let mut slow = 0u64;
+        let mut media = 0u64;
+        let mut stuck = 0u64;
+        for i in 0..n {
+            match s.decide(i) {
+                DiskFault::Slow => slow += 1,
+                DiskFault::MediaError => media += 1,
+                DiskFault::Stuck => stuck += 1,
+                DiskFault::None => {}
+            }
+        }
+        // Expected: n/60 slow, n/400 media, n/2000 stuck; allow 2x slack.
+        assert!((n / 120..n / 30).contains(&slow), "slow {slow}");
+        assert!((n / 800..n / 200).contains(&media), "media {media}");
+        assert!((n / 4000..n / 1000).contains(&stuck), "stuck {stuck}");
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let s = DiskFaultState::new(1, 0, DiskFaultConfig::default());
+        assert!((0..50_000).all(|i| s.decide(i) == DiskFault::None));
+        let n = NetFaultState::new(1, NetFaultConfig::default());
+        assert!((0..50_000).all(|i| !n.frame_lost(i) && !n.frame_duplicated(i)));
+    }
+
+    #[test]
+    fn net_loss_and_dup_are_disjoint() {
+        let n = NetFaultState::new(
+            9,
+            NetFaultConfig {
+                loss_every: 4,
+                dup_every: 4,
+                ..Default::default()
+            },
+        );
+        for i in 0..10_000 {
+            assert!(
+                !(n.frame_lost(i) && n.frame_duplicated(i)),
+                "frame {i} both lost and duplicated"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let n = NetFaultState::new(0, NetFaultConfig::default());
+        assert_eq!(n.backoff_us(1), 2_000);
+        assert_eq!(n.backoff_us(2), 4_000);
+        assert_eq!(n.backoff_us(3), 8_000);
+        assert_eq!(n.backoff_us(10), 64_000, "capped");
+        assert_eq!(n.backoff_us(40), 64_000, "shift clamped, no overflow");
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::none()
+            .seed(0xBEEF)
+            .disk(DiskFaultConfig::degraded_drive())
+            .net(NetFaultConfig::lossy_segment())
+            .crash(5, 30_000_000)
+            .crash_restart(2, 10_000_000, 5_000_000);
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+    }
+}

@@ -20,7 +20,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use essio_disk::{BlockRequest, IdeDriver, SubmitOutcome};
+use essio_disk::{BlockRequest, Completion, IdeDriver, SubmitOutcome};
 use essio_sim::{SimRng, SimTime, Vpn};
 use essio_trace::{InstrumentationLevel, Op, Origin, RecordSink, TraceRecord};
 
@@ -112,6 +112,10 @@ pub struct KernelConfig {
     pub readahead: bool,
     /// RNG seed for daemon cadence.
     pub seed: u64,
+    /// Seed of the deterministic fault plane (mixed cluster/plan seed).
+    pub fault_seed: u64,
+    /// Disk fault rates + recovery budget; `None` = healthy drive.
+    pub disk_faults: Option<essio_faults::DiskFaultConfig>,
 }
 
 impl KernelConfig {
@@ -131,6 +135,8 @@ impl KernelConfig {
             spool_trace: true,
             readahead: true,
             seed: 0x5EED + node as u64,
+            fault_seed: 0,
+            disk_faults: None,
         }
     }
 }
@@ -172,6 +178,34 @@ struct TokenInfo {
     waiter: Option<Pid>,
 }
 
+/// A failed physical request being retried: the fresh driver token maps back
+/// to every original logical token it stands in for. The originals stay in
+/// `tokens` (their waiters stay blocked) until a retry finally succeeds.
+#[derive(Debug)]
+struct RetryGroup {
+    tokens: Vec<u64>,
+    attempts: u32,
+}
+
+/// Disk-recovery counters (the kernel side of the fault plane; the driver
+/// side lives in [`essio_disk::DriverStats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetryStats {
+    /// Failed physical requests resubmitted.
+    pub retries: u64,
+    /// Requests relocated to the spare region after exhausting retries.
+    pub relocations: u64,
+}
+
+/// State lost to a node power failure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PowerFailReport {
+    /// Undrained trace records discarded with the node's RAM.
+    pub trace_records_lost: u64,
+    /// Dirty buffer-cache blocks that never reached the disk.
+    pub dirty_blocks_lost: u64,
+}
+
 /// One node's kernel.
 #[derive(Debug)]
 pub struct Kernel {
@@ -183,6 +217,8 @@ pub struct Kernel {
     rng: SimRng,
     procs: HashMap<Pid, Proc>,
     tokens: HashMap<u64, TokenInfo>,
+    retries: HashMap<u64, RetryGroup>,
+    retry_stats: RetryStats,
     next_token: u64,
     syslog_ino: Ino,
     ktable_ino: Ino,
@@ -206,7 +242,15 @@ impl Kernel {
             .expect("fresh fs");
         let vm = Vm::new(cfg.frames_user, &layout);
         let cache = BufferCache::new(cfg.cache_blocks);
-        let driver = IdeDriver::new(cfg.node, cfg.timing.clone(), cfg.sched, cfg.trace_capacity);
+        let mut driver =
+            IdeDriver::new(cfg.node, cfg.timing.clone(), cfg.sched, cfg.trace_capacity);
+        if let Some(faults) = &cfg.disk_faults {
+            driver.set_faults(Some(essio_faults::DiskFaultState::new(
+                cfg.fault_seed,
+                cfg.node,
+                faults.clone(),
+            )));
+        }
         let rng = SimRng::new(cfg.seed);
         Self {
             cfg,
@@ -217,6 +261,8 @@ impl Kernel {
             rng,
             procs: HashMap::new(),
             tokens: HashMap::new(),
+            retries: HashMap::new(),
+            retry_stats: RetryStats::default(),
             next_token: 0,
             syslog_ino,
             ktable_ino,
@@ -245,6 +291,34 @@ impl Kernel {
     /// Driver statistics.
     pub fn driver_stats(&self) -> essio_disk::DriverStats {
         *self.driver.stats()
+    }
+
+    /// Disk-recovery statistics (retries + relocations).
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
+    }
+
+    /// Power failure: everything volatile is lost — the in-flight and
+    /// queued disk requests, undrained trace records, dirty cache blocks,
+    /// pending waits and retry state. The filesystem (on disk) survives.
+    /// The caller is expected to tear down the node's processes itself.
+    pub fn power_fail(&mut self) -> PowerFailReport {
+        let trace_records_lost = self.driver.power_fail();
+        let dirty_blocks_lost = self.cache.dirty_count() as u64;
+        // RAM contents are gone; counters survive in the report only.
+        let stats = self.cache.stats;
+        self.cache = BufferCache::new(self.cfg.cache_blocks);
+        self.cache.stats = stats;
+        self.tokens.clear();
+        self.retries.clear();
+        for proc in self.procs.values_mut() {
+            proc.wait = None;
+        }
+        self.spooled_records = self.driver.stats().dispatched;
+        PowerFailReport {
+            trace_records_lost,
+            dirty_blocks_lost,
+        }
     }
 
     /// The ioctl: set trace level.
@@ -351,6 +425,7 @@ impl Kernel {
                 op,
                 origin,
                 token,
+                relocated: false,
             },
         ) {
             SubmitOutcome::Dispatched { completes_at } => Some(completes_at),
@@ -1073,8 +1148,22 @@ impl Kernel {
     /// completion deadline if the drive picked up more work.
     pub fn disk_complete(&mut self, now: SimTime) -> (Vec<(Pid, WakeKind)>, Option<SimTime>) {
         let (completion, mut deadline) = self.driver.on_complete(now);
+        if completion.failed {
+            let d = self.retry_failed(now, &completion);
+            return (Vec::new(), deadline.or(d));
+        }
+        // Expand retry-group tokens back to the original logical tokens
+        // they stood in for before fanning out.
+        let mut tokens = Vec::with_capacity(completion.tokens.len());
+        for t in completion.tokens {
+            if let Some(group) = self.retries.remove(&t) {
+                tokens.extend(group.tokens);
+            } else {
+                tokens.push(t);
+            }
+        }
         let mut wakes = Vec::new();
-        for token in completion.tokens {
+        for token in tokens {
             let Some(info) = self.tokens.remove(&token) else {
                 continue;
             };
@@ -1112,6 +1201,61 @@ impl Kernel {
             }
         }
         (wakes, deadline)
+    }
+
+    /// Resubmit a failed physical request. Bounded recovery: up to
+    /// `max_retries` plain retries (each a fresh fault trial), then a
+    /// relocation to the spare region, which is fault-exempt and therefore
+    /// always lands. Every retry re-enters the trace as a real duplicate
+    /// physical request — exactly what the instrumented driver would have
+    /// recorded on hardware. The original logical tokens stay pending (and
+    /// their waiters blocked) until a retry succeeds.
+    fn retry_failed(&mut self, now: SimTime, completion: &Completion) -> Option<SimTime> {
+        let mut originals = Vec::new();
+        let mut attempts = 0u32;
+        for t in &completion.tokens {
+            if let Some(group) = self.retries.remove(t) {
+                attempts = attempts.max(group.attempts);
+                originals.extend(group.tokens);
+            } else {
+                originals.push(*t);
+            }
+        }
+        attempts += 1;
+        let max_retries = self
+            .cfg
+            .disk_faults
+            .as_ref()
+            .map(|f| f.max_retries)
+            .unwrap_or(0);
+        let relocated = attempts > max_retries;
+        self.retry_stats.retries += 1;
+        if relocated {
+            self.retry_stats.relocations += 1;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.retries.insert(
+            token,
+            RetryGroup {
+                tokens: originals,
+                attempts,
+            },
+        );
+        match self.driver.submit(
+            now,
+            BlockRequest {
+                sector: completion.sector,
+                nsectors: completion.nsectors,
+                op: completion.op,
+                origin: completion.origin,
+                token,
+                relocated,
+            },
+        ) {
+            SubmitOutcome::Dispatched { completes_at } => Some(completes_at),
+            SubmitOutcome::Queued | SubmitOutcome::Merged => None,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1282,6 +1426,97 @@ mod tests {
         let mut k = Kernel::new(cfg);
         k.set_instrumentation(InstrumentationLevel::Full);
         k
+    }
+
+    #[test]
+    fn failed_commands_retry_then_relocate_as_duplicate_trace_records() {
+        let mut cfg = KernelConfig::beowulf(0);
+        cfg.spool_trace = false;
+        // Every command returns a media error until the relocation, which
+        // is fault-exempt: each physical request takes 3 failed attempts
+        // (1 original + 2 retries) and then a relocated success.
+        cfg.disk_faults = Some(essio_faults::DiskFaultConfig {
+            media_error_every: 1,
+            max_retries: 2,
+            ..Default::default()
+        });
+        let mut k = Kernel::new(cfg);
+        k.set_instrumentation(InstrumentationLevel::Full);
+        let payload = vec![9u8; 1000];
+        k.install_file("/data", Placement::User, &payload);
+        let mut p = Pump::new(k);
+        p.k.register_process(1);
+        let fd = p
+            .sys(
+                1,
+                Syscall::Open {
+                    path: "/data".into(),
+                    create: false,
+                    placement: Placement::User,
+                },
+            )
+            .fd();
+        let r = p.sys(
+            1,
+            Syscall::ReadAt {
+                fd,
+                offset: 0,
+                len: 1000,
+            },
+        );
+        assert_eq!(r.data(), payload, "the read still completes");
+        let s = p.k.driver_stats();
+        assert!(s.media_errors > 0, "faults fired");
+        assert_eq!(
+            s.dispatched,
+            4 * s.relocated,
+            "every request: 3 failed attempts then one relocated success"
+        );
+        let retries = p.k.retry_stats();
+        assert_eq!(retries.retries, 3 * retries.relocations);
+        // The retries are *real* duplicate physical requests in the trace.
+        let recs = p.k.drain_trace();
+        assert_eq!(recs.len() as u64, s.dispatched);
+        let first = recs[0];
+        let dups = recs
+            .iter()
+            .filter(|r| r.sector == first.sector && r.nsectors == first.nsectors)
+            .count();
+        assert_eq!(dups, 4, "the first request appears 4 times in the trace");
+    }
+
+    #[test]
+    fn power_fail_drops_volatile_state_but_keeps_the_fs() {
+        let mut k = kernel();
+        k.register_process(1);
+        let (o, d) = k.syscall(
+            0,
+            1,
+            Syscall::Open {
+                path: "/out".into(),
+                create: true,
+                placement: Placement::User,
+            },
+        );
+        let Outcome::Done { result, .. } = o else {
+            panic!()
+        };
+        let fd = result.fd();
+        pump(&mut k, d);
+        let (_, d) = k.syscall(
+            1_000,
+            1,
+            Syscall::WriteAt {
+                fd,
+                offset: 0,
+                data: vec![3u8; 4096],
+            },
+        );
+        pump(&mut k, d);
+        let report = k.power_fail();
+        assert!(report.dirty_blocks_lost > 0, "unflushed writes were lost");
+        assert_eq!(k.drain_trace().len(), 0, "ring discarded");
+        assert!(k.fs().lookup("/out").is_some(), "the disk survived");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The bonded dual-Ethernet transmission model.
 
+use essio_faults::NetFaultState;
 use essio_sim::SimTime;
 
 /// Link parameters.
@@ -27,16 +28,34 @@ impl Default for NetConfig {
     }
 }
 
+/// What became of one frame put on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Arrives at the receiver at the contained time.
+    Delivered(SimTime),
+    /// The medium duplicated the frame: the receiver sees two copies.
+    Duplicated(SimTime, SimTime),
+    /// Lost on the wire (channel time was still consumed); the sender will
+    /// only find out by timeout.
+    Lost,
+}
+
 /// The shared medium: each channel is busy until its last transmission ends.
 #[derive(Debug)]
 pub struct Ethernet {
     cfg: NetConfig,
     next_free: Vec<SimTime>,
     rr: usize,
+    faults: Option<NetFaultState>,
+    frames: u64,
     /// Messages transmitted.
     pub messages: u64,
     /// Payload bytes transmitted.
     pub bytes: u64,
+    /// Frames lost on the wire (injected).
+    pub frames_lost: u64,
+    /// Frames duplicated by the medium (injected).
+    pub frames_dup: u64,
 }
 
 impl Ethernet {
@@ -48,9 +67,23 @@ impl Ethernet {
             cfg,
             next_free,
             rr: 0,
+            faults: None,
+            frames: 0,
             messages: 0,
             bytes: 0,
+            frames_lost: 0,
+            frames_dup: 0,
         }
+    }
+
+    /// Install (or clear) the deterministic frame-fault oracle.
+    pub fn set_faults(&mut self, faults: Option<NetFaultState>) {
+        self.faults = faults;
+    }
+
+    /// The installed fault oracle, if any.
+    pub fn faults(&self) -> Option<&NetFaultState> {
+        self.faults.as_ref()
     }
 
     /// Transmit `payload_bytes` starting no earlier than `now`; returns the
@@ -76,6 +109,30 @@ impl Ethernet {
         self.messages += 1;
         self.bytes += payload_bytes as u64;
         done + self.cfg.latency_us
+    }
+
+    /// Transmit one frame subject to the fault oracle. Without an oracle
+    /// this is exactly [`Ethernet::transmit`]. A lost frame consumes its
+    /// channel time but never arrives; a duplicated frame is put on the
+    /// wire twice and arrives twice.
+    pub fn transmit_frame(&mut self, now: SimTime, payload_bytes: u32) -> TxOutcome {
+        let frame = self.frames;
+        self.frames += 1;
+        let t = self.transmit(now, payload_bytes);
+        let Some(oracle) = &self.faults else {
+            return TxOutcome::Delivered(t);
+        };
+        if oracle.frame_lost(frame) {
+            self.frames_lost += 1;
+            return TxOutcome::Lost;
+        }
+        if oracle.frame_duplicated(frame) {
+            self.frames_dup += 1;
+            let copy = self.transmit(now, payload_bytes);
+            let (a, b) = if copy < t { (copy, t) } else { (t, copy) };
+            return TxOutcome::Duplicated(a, b);
+        }
+        TxOutcome::Delivered(t)
     }
 
     /// Aggregate utilization proxy: the latest time any channel is busy to.
@@ -146,5 +203,56 @@ mod tests {
         e.transmit(0, 20);
         assert_eq!(e.messages, 2);
         assert_eq!(e.bytes, 30);
+    }
+
+    #[test]
+    fn faultless_frame_path_matches_plain_transmit() {
+        let mut a = Ethernet::new(NetConfig::default());
+        let mut b = Ethernet::new(NetConfig::default());
+        for i in 0..50u32 {
+            let t = a.transmit(i as u64 * 100, i * 37);
+            match b.transmit_frame(i as u64 * 100, i * 37) {
+                TxOutcome::Delivered(t2) => assert_eq!(t, t2),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lost_frames_consume_wire_time_but_never_arrive() {
+        use essio_faults::{NetFaultConfig, NetFaultState};
+        let mut e = Ethernet::new(NetConfig {
+            channels: 1,
+            ..Default::default()
+        });
+        e.set_faults(Some(NetFaultState::new(
+            0,
+            NetFaultConfig {
+                loss_every: 1,
+                ..Default::default()
+            },
+        )));
+        assert_eq!(e.transmit_frame(0, 10_000), TxOutcome::Lost);
+        assert_eq!(e.frames_lost, 1);
+        assert!(e.busy_until() > 0, "the doomed frame still held the wire");
+    }
+
+    #[test]
+    fn duplicated_frames_arrive_twice_in_order() {
+        use essio_faults::{NetFaultConfig, NetFaultState};
+        let mut e = Ethernet::new(NetConfig::default());
+        e.set_faults(Some(NetFaultState::new(
+            0,
+            NetFaultConfig {
+                dup_every: 1,
+                ..Default::default()
+            },
+        )));
+        let TxOutcome::Duplicated(a, b) = e.transmit_frame(0, 1_000) else {
+            panic!("dup_every=1 must duplicate")
+        };
+        assert!(a <= b);
+        assert_eq!(e.frames_dup, 1);
+        assert_eq!(e.messages, 2, "both copies crossed the wire");
     }
 }

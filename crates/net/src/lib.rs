@@ -20,5 +20,5 @@
 pub mod ether;
 pub mod pvm;
 
-pub use ether::{Ethernet, NetConfig};
-pub use pvm::{BarrierOutcome, Message, NetOp, NetResult, Pvm, TaskId};
+pub use ether::{Ethernet, NetConfig, TxOutcome};
+pub use pvm::{BarrierOutcome, Message, NetOp, NetResult, Pvm, SendPlan, TaskId};

@@ -14,7 +14,7 @@ use std::collections::{HashMap, VecDeque};
 
 use essio_sim::SimTime;
 
-use crate::ether::Ethernet;
+use crate::ether::{Ethernet, TxOutcome};
 
 /// PVM task identifier (one per process in the virtual machine).
 pub type TaskId = u32;
@@ -30,6 +30,21 @@ pub struct Message {
     pub tag: i32,
     /// Payload.
     pub data: Vec<u8>,
+    /// Send sequence number, stamped by [`Pvm::send`]; lets the receiver
+    /// discard medium-duplicated copies.
+    pub seq: u64,
+}
+
+/// The transmission schedule [`Pvm::send`] worked out for one message: when
+/// each surviving copy arrives (usually one; two if the medium duplicated
+/// the frame) and how many wire attempts it took. The world loop schedules
+/// one delivery event per entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendPlan {
+    /// Arrival times of every copy that made it.
+    pub deliveries: Vec<SimTime>,
+    /// Frames put on the wire (1 = no loss).
+    pub attempts: u32,
 }
 
 /// Network requests a process can issue.
@@ -94,8 +109,16 @@ pub struct Pvm {
     mailboxes: HashMap<TaskId, VecDeque<Message>>,
     recv_waits: HashMap<TaskId, RecvWait>,
     barriers: HashMap<u32, Vec<TaskId>>,
+    /// Recently seen sequence numbers per receiver (duplicate filter; only
+    /// populated when the medium has a fault oracle installed).
+    recent: HashMap<TaskId, VecDeque<u64>>,
+    next_seq: u64,
     /// Messages delivered end-to-end.
     pub delivered: u64,
+    /// Frames retransmitted after a loss timeout.
+    pub retransmits: u64,
+    /// Duplicate copies discarded at the receiver.
+    pub dup_dropped: u64,
 }
 
 impl Pvm {
@@ -106,7 +129,11 @@ impl Pvm {
             mailboxes: HashMap::new(),
             recv_waits: HashMap::new(),
             barriers: HashMap::new(),
+            recent: HashMap::new(),
+            next_seq: 0,
             delivered: 0,
+            retransmits: 0,
+            dup_dropped: 0,
         }
     }
 
@@ -115,15 +142,77 @@ impl Pvm {
         &self.ether
     }
 
-    /// Start transmitting `msg`; returns its delivery time. The world loop
-    /// must call [`Pvm::deliver`] with the message at that time.
-    pub fn send(&mut self, now: SimTime, msg: &Message) -> SimTime {
-        self.ether.transmit(now, msg.data.len() as u32)
+    /// The underlying medium, mutable (fault-oracle installation).
+    pub fn ether_mut(&mut self) -> &mut Ethernet {
+        &mut self.ether
+    }
+
+    /// Start transmitting `msg` (stamping its sequence number); returns the
+    /// arrival schedule. The world loop must call [`Pvm::deliver`] with a
+    /// copy of the message at each delivery time.
+    ///
+    /// On a faulty medium this models PVM's reliability layer
+    /// synchronously: a lost frame is retransmitted after an exponential
+    /// backoff ([`essio_faults::NetFaultState::backoff_us`]); after
+    /// `max_attempts` wire attempts the frame is forced through so the run
+    /// stays live (persistent partitions are modeled as node crashes, not
+    /// infinite retry).
+    pub fn send(&mut self, now: SimTime, msg: &mut Message) -> SendPlan {
+        msg.seq = self.next_seq;
+        self.next_seq += 1;
+        let bytes = msg.data.len() as u32;
+        let mut attempts = 0u32;
+        let mut start = now;
+        loop {
+            attempts += 1;
+            match self.ether.transmit_frame(start, bytes) {
+                TxOutcome::Delivered(t) => {
+                    return SendPlan {
+                        deliveries: vec![t],
+                        attempts,
+                    }
+                }
+                TxOutcome::Duplicated(a, b) => {
+                    return SendPlan {
+                        deliveries: vec![a, b],
+                        attempts,
+                    }
+                }
+                TxOutcome::Lost => {
+                    let oracle = self.ether.faults().expect("loss implies an oracle");
+                    let backoff = oracle.backoff_us(attempts);
+                    let give_up = attempts >= oracle.config().max_attempts;
+                    self.retransmits += 1;
+                    start += backoff;
+                    if give_up {
+                        let t = self.ether.transmit(start, bytes);
+                        return SendPlan {
+                            deliveries: vec![t],
+                            attempts: attempts + 1,
+                        };
+                    }
+                }
+            }
+        }
     }
 
     /// Message arrival. Returns the task to wake (with the message) if the
     /// receiver was blocked on a matching receive.
     pub fn deliver(&mut self, msg: Message) -> Option<(TaskId, Message)> {
+        // Drop medium-duplicated copies by sequence number. Only active on
+        // a faulty medium, so the clean path is byte-identical to the
+        // pre-fault-plane behaviour.
+        if self.ether.faults().is_some() {
+            let recent = self.recent.entry(msg.to).or_default();
+            if recent.contains(&msg.seq) {
+                self.dup_dropped += 1;
+                return None;
+            }
+            recent.push_back(msg.seq);
+            if recent.len() > 64 {
+                recent.pop_front();
+            }
+        }
         self.delivered += 1;
         let to = msg.to;
         if let Some(wait) = self.recv_waits.get(&to) {
@@ -180,6 +269,7 @@ impl Pvm {
     pub fn forget(&mut self, task: TaskId) {
         self.recv_waits.remove(&task);
         self.mailboxes.remove(&task);
+        self.recent.remove(&task);
         for arrived in self.barriers.values_mut() {
             arrived.retain(|t| *t != task);
         }
@@ -201,14 +291,75 @@ mod tests {
             to,
             tag,
             data: vec![1, 2, 3],
+            seq: 0,
         }
     }
 
     #[test]
     fn send_returns_future_delivery_time() {
         let mut p = pvm();
-        let t = p.send(1_000, &msg(1, 2, 7));
-        assert!(t > 1_000);
+        let plan = p.send(1_000, &mut msg(1, 2, 7));
+        assert_eq!(plan.deliveries.len(), 1);
+        assert_eq!(plan.attempts, 1);
+        assert!(plan.deliveries[0] > 1_000);
+    }
+
+    #[test]
+    fn send_stamps_increasing_sequence_numbers() {
+        let mut p = pvm();
+        let mut a = msg(1, 2, 7);
+        let mut b = msg(1, 2, 7);
+        p.send(0, &mut a);
+        p.send(0, &mut b);
+        assert!(b.seq > a.seq);
+    }
+
+    #[test]
+    fn lost_frames_are_retransmitted_with_backoff() {
+        use crate::ether::NetConfig;
+        use essio_faults::{NetFaultConfig, NetFaultState};
+        let mut e = Ethernet::new(NetConfig::default());
+        // Lose every frame: send must burn through max_attempts and then
+        // force the message through.
+        e.set_faults(Some(NetFaultState::new(
+            3,
+            NetFaultConfig {
+                loss_every: 1,
+                max_attempts: 4,
+                ..Default::default()
+            },
+        )));
+        let mut p = Pvm::new(e);
+        let plan = p.send(0, &mut msg(1, 2, 7));
+        assert_eq!(plan.attempts, 5, "4 lost attempts + the forced one");
+        assert_eq!(p.retransmits, 4);
+        assert_eq!(plan.deliveries.len(), 1);
+        // Backoffs 2+4+8+16 ms put the delivery well past a clean send.
+        let clean = pvm().send(0, &mut msg(1, 2, 7)).deliveries[0];
+        assert!(plan.deliveries[0] >= clean + 30_000, "{plan:?}");
+    }
+
+    #[test]
+    fn duplicated_copies_are_dropped_at_the_receiver() {
+        use crate::ether::NetConfig;
+        use essio_faults::{NetFaultConfig, NetFaultState};
+        let mut e = Ethernet::new(NetConfig::default());
+        e.set_faults(Some(NetFaultState::new(
+            0,
+            NetFaultConfig {
+                dup_every: 1,
+                ..Default::default()
+            },
+        )));
+        let mut p = Pvm::new(e);
+        let mut m = msg(1, 2, 7);
+        let plan = p.send(0, &mut m);
+        assert_eq!(plan.deliveries.len(), 2, "medium duplicated the frame");
+        assert!(p.deliver(m.clone()).is_none(), "first copy queues");
+        assert!(p.deliver(m).is_none(), "second copy dropped");
+        assert_eq!(p.dup_dropped, 1);
+        assert!(p.recv(2, None, None).is_some(), "exactly one copy queued");
+        assert!(p.recv(2, None, None).is_none(), "no duplicate left behind");
     }
 
     #[test]

@@ -53,8 +53,9 @@ proptest! {
         for op in ops {
             match op {
                 PvmOp::Send { from, to, tag, payload } => {
-                    let msg = Message { from, to, tag, data: vec![payload] };
-                    now = pvm.send(now, &msg).max(now);
+                    let mut msg = Message { from, to, tag, data: vec![payload], seq: 0 };
+                    let plan = pvm.send(now, &mut msg);
+                    now = plan.deliveries[0].max(now);
                     sent += 1;
                     // Deliver immediately (interleaving with later receives
                     // is covered by the Recv-first path below).
@@ -103,7 +104,7 @@ proptest! {
     fn same_filter_messages_arrive_fifo(payloads in prop::collection::vec(any::<u8>(), 1..40)) {
         let mut pvm = Pvm::new(Ethernet::new(NetConfig::default()));
         for (i, p) in payloads.iter().enumerate() {
-            pvm.deliver(Message { from: 1, to: 2, tag: 7, data: vec![*p, i as u8] });
+            pvm.deliver(Message { from: 1, to: 2, tag: 7, data: vec![*p, i as u8], seq: i as u64 });
         }
         for (i, p) in payloads.iter().enumerate() {
             let got = pvm.recv(2, Some(1), Some(7)).expect("queued");

@@ -96,6 +96,27 @@ pub struct ProcCtx<Req, Resp> {
 /// process is blocked; the host thread wrapper swallows it.
 struct SimulationTornDown;
 
+/// The default panic hook prints a message (and backtrace) for *every*
+/// unwind, including the [`SimulationTornDown`] one used to tear down
+/// hosted process threads — which floods stderr with host thread IDs
+/// whenever a process is killed mid-run. Silence exactly that payload;
+/// everything else still reaches the previous hook.
+fn install_teardown_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info
+                .payload()
+                .downcast_ref::<SimulationTornDown>()
+                .is_none()
+            {
+                prev(info);
+            }
+        }));
+    });
+}
+
 impl<Req, Resp> ProcCtx<Req, Resp> {
     /// Current virtual time as of the last rendezvous, plus locally
     /// accumulated compute. Approximate between yields by construction.
@@ -188,6 +209,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> ProcessHost<Req, Resp> {
     where
         F: FnOnce(&mut ProcCtx<Req, Resp>) -> i32 + Send + 'static,
     {
+        install_teardown_hook();
         let name = name.into();
         let (to_proc, from_engine) = sync_channel::<Resume<Resp>>(0);
         let (to_engine, from_proc) = sync_channel::<ProcMsg<Req>>(0);

@@ -24,8 +24,14 @@ pub const RECORD_BYTES: usize = 20;
 pub enum DecodeError {
     /// The header magic did not match [`MAGIC`].
     BadMagic,
-    /// The payload length is not a whole number of records.
-    Truncated,
+    /// The payload length is not a whole number of records. `at` is the
+    /// byte offset, counted from the start of the stream (magic included),
+    /// of the first byte of the incomplete trailing record — i.e. how much
+    /// of the file is still valid and replayable.
+    Truncated {
+        /// Offset of the first byte of the partial record.
+        at: u64,
+    },
     /// A record carried an invalid op flag.
     BadOp(u8),
     /// The underlying reader failed (streaming decode only).
@@ -36,7 +42,9 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::BadMagic => write!(f, "not an ESIO trace (bad magic)"),
-            DecodeError::Truncated => write!(f, "trace truncated mid-record"),
+            DecodeError::Truncated { at } => {
+                write!(f, "trace truncated mid-record at byte {at}")
+            }
             DecodeError::BadOp(v) => write!(f, "invalid op flag {v}"),
             DecodeError::Io(kind) => write!(f, "trace read failed: {kind}"),
         }
@@ -99,7 +107,10 @@ pub fn decode(mut data: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
     }
     data = &data[MAGIC.len()..];
     if !data.len().is_multiple_of(RECORD_BYTES) {
-        return Err(DecodeError::Truncated);
+        let valid = data.len() - data.len() % RECORD_BYTES;
+        return Err(DecodeError::Truncated {
+            at: (MAGIC.len() + valid) as u64,
+        });
     }
     let mut out = Vec::with_capacity(data.len() / RECORD_BYTES);
     for rec in data.chunks_exact(RECORD_BYTES) {
@@ -120,6 +131,9 @@ pub struct ChunkedDecoder<R: Read> {
     buf: Vec<u8>,
     started: bool,
     done: bool,
+    /// Bytes consumed from the stream so far (magic included) — the basis
+    /// of the offset reported by [`DecodeError::Truncated`].
+    consumed: u64,
 }
 
 impl<R: Read> ChunkedDecoder<R> {
@@ -131,6 +145,7 @@ impl<R: Read> ChunkedDecoder<R> {
             buf: vec![0u8; chunk * RECORD_BYTES],
             started: false,
             done: false,
+            consumed: 0,
         }
     }
 
@@ -165,6 +180,7 @@ impl<R: Read> ChunkedDecoder<R> {
                 return Err(DecodeError::BadMagic);
             }
             self.started = true;
+            self.consumed = MAGIC.len() as u64;
         }
         if self.done {
             return Ok(0);
@@ -174,8 +190,12 @@ impl<R: Read> ChunkedDecoder<R> {
             self.done = true;
         }
         if n % RECORD_BYTES != 0 {
-            return Err(DecodeError::Truncated);
+            let valid = n - n % RECORD_BYTES;
+            return Err(DecodeError::Truncated {
+                at: self.consumed + valid as u64,
+            });
         }
+        self.consumed += n as u64;
         for rec in self.buf[..n].chunks_exact(RECORD_BYTES) {
             out.push(decode_record(rec)?);
         }
@@ -297,10 +317,11 @@ mod tests {
     }
 
     #[test]
-    fn truncation_rejected() {
+    fn truncation_rejected_with_offset_of_last_whole_record_end() {
         let mut encoded = encode(&sample()).to_vec();
         encoded.pop();
-        assert_eq!(decode(&encoded), Err(DecodeError::Truncated));
+        // 3 records: the partial third record starts at 4 + 2×20 = 44.
+        assert_eq!(decode(&encoded), Err(DecodeError::Truncated { at: 44 }));
     }
 
     #[test]
@@ -373,22 +394,56 @@ mod tests {
         assert_eq!(collected, recs);
     }
 
-    #[test]
-    fn chunked_truncated_tail_is_an_error() {
-        let recs = many(20);
-        let mut encoded = encode(&recs).to_vec();
-        encoded.truncate(encoded.len() - 3); // chop mid-record
-        let mut dec = ChunkedDecoder::new(&encoded[..], 8);
+    /// Run a chunked decode to its terminal result.
+    fn drain_chunked(encoded: &[u8], chunk: usize) -> Result<usize, DecodeError> {
+        let mut dec = ChunkedDecoder::new(encoded, chunk);
         let mut buf = Vec::new();
-        let mut saw = Ok(0usize);
-        for _ in 0..10 {
-            saw = dec.next_chunk(&mut buf);
-            match saw {
-                Ok(0) | Err(_) => break,
+        loop {
+            match dec.next_chunk(&mut buf) {
+                Ok(0) => return Ok(0),
                 Ok(_) => continue,
+                Err(e) => return Err(e),
             }
         }
-        assert_eq!(saw, Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn chunked_truncation_mid_record_reports_the_record_start() {
+        // 20 records = 4 + 400 bytes; chop 3 bytes so record 19 is partial.
+        // Its first byte sits at 4 + 19×20 = 384, regardless of where the
+        // chunk boundaries fall.
+        let recs = many(20);
+        let mut encoded = encode(&recs).to_vec();
+        encoded.truncate(encoded.len() - 3);
+        for chunk in [1, 3, 5, 8, 20, 64] {
+            assert_eq!(
+                drain_chunked(&encoded, chunk),
+                Err(DecodeError::Truncated { at: 384 }),
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_truncation_mid_chunk_reports_the_record_start() {
+        // Cut inside the *middle* of a chunk: 20 records, chunk = 8, cut
+        // into record 10 (third record of the second chunk). The partial
+        // record starts at 4 + 10×20 = 204.
+        let recs = many(20);
+        let mut encoded = encode(&recs).to_vec();
+        encoded.truncate(MAGIC.len() + 10 * RECORD_BYTES + 11);
+        assert_eq!(
+            drain_chunked(&encoded, 8),
+            Err(DecodeError::Truncated { at: 204 })
+        );
+        // Same cut, batch decode: identical offset.
+        assert_eq!(decode(&encoded), Err(DecodeError::Truncated { at: 204 }));
+    }
+
+    #[test]
+    fn truncated_display_names_the_offset() {
+        let msg = DecodeError::Truncated { at: 204 }.to_string();
+        assert!(msg.contains("204"), "{msg}");
     }
 
     #[test]

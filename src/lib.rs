@@ -16,6 +16,7 @@
 pub use essio;
 pub use essio_apps as apps;
 pub use essio_disk as disk;
+pub use essio_faults as faults;
 pub use essio_kernel as kernel;
 pub use essio_net as net;
 pub use essio_pfs as pfs;

@@ -9,9 +9,11 @@ use ess_io_study::trace::{Op, Origin};
 #[test]
 fn readahead_is_the_source_of_large_reads() {
     let with = Experiment::wavelet().quick().seed(71).run();
-    let mut e = Experiment::wavelet().quick().seed(71);
-    e.cluster.readahead = false;
-    let without = e.run();
+    let without = Experiment::wavelet()
+        .quick()
+        .seed(71)
+        .readahead(false)
+        .run();
 
     let big = |r: &ExperimentResult| {
         r.trace
@@ -38,9 +40,11 @@ fn readahead_is_the_source_of_large_reads() {
 #[test]
 fn frame_pool_size_controls_paging_volume() {
     let run = |frames: u32| {
-        let mut e = Experiment::wavelet().quick().seed(72);
-        e.cluster.frames_user = frames;
-        e.run()
+        Experiment::wavelet()
+            .quick()
+            .seed(72)
+            .frames_user(frames)
+            .run()
     };
     let tight = run(2048);
     let normal = run(3072);
@@ -66,12 +70,16 @@ fn frame_pool_size_controls_paging_volume() {
 
 #[test]
 fn scheduler_policy_preserves_work_but_changes_order() {
-    let mut e1 = Experiment::nbody().quick().seed(73);
-    e1.cluster.sched = ess_io_study::disk::SchedPolicy::Elevator;
-    let elevator = e1.run();
-    let mut e2 = Experiment::nbody().quick().seed(73);
-    e2.cluster.sched = ess_io_study::disk::SchedPolicy::Fifo;
-    let fifo = e2.run();
+    let elevator = Experiment::nbody()
+        .quick()
+        .seed(73)
+        .sched(ess_io_study::disk::SchedPolicy::Elevator)
+        .run();
+    let fifo = Experiment::nbody()
+        .quick()
+        .seed(73)
+        .sched(ess_io_study::disk::SchedPolicy::Fifo)
+        .run();
     assert!(elevator.all_clean() && fifo.all_clean());
     // Same logical demand: sector footprints match.
     let sectors = |r: &ExperimentResult| {
@@ -123,9 +131,12 @@ fn trace_spooling_contributes_write_traffic() {
         .duration_secs(200)
         .seed(75)
         .run();
-    let mut e = Experiment::baseline().quick().duration_secs(200).seed(75);
-    e.cluster.spool_trace = false;
-    let without = e.run();
+    let without = Experiment::baseline()
+        .quick()
+        .duration_secs(200)
+        .seed(75)
+        .spool_trace(false)
+        .run();
     let spool = |r: &ExperimentResult| {
         r.trace
             .iter()
@@ -153,6 +164,7 @@ fn elevator_reduces_virtual_service_time_on_scattered_load() {
                 op: Op::Write,
                 origin: Origin::FileData,
                 token: i,
+                relocated: false,
             };
             if let SubmitOutcome::Dispatched { completes_at } = d.submit(0, req) {
                 deadline = Some(completes_at);

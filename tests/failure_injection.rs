@@ -8,13 +8,12 @@ use ess_io_study::prelude::*;
 
 #[test]
 fn disk_fault_injection_slows_but_completes() {
-    let mut clean_cfg = Experiment::nbody().quick().seed(61);
-    clean_cfg.cluster.disk_fault_every = None;
-    let clean = clean_cfg.run();
-
-    let mut faulty_cfg = Experiment::nbody().quick().seed(61);
-    faulty_cfg.cluster.disk_fault_every = Some(10); // every 10th command retries
-    let faulty = faulty_cfg.run();
+    let clean = Experiment::nbody().quick().seed(61).run();
+    let faulty = Experiment::nbody()
+        .quick()
+        .seed(61)
+        .disk_fault_every(Some(10)) // every 10th command retries
+        .run();
 
     assert!(clean.all_clean() && faulty.all_clean());
     // Same logical work happened.
@@ -127,6 +126,7 @@ fn trace_ring_overflow_drops_oldest_but_keeps_running() {
             op: Op::Write,
             origin: Origin::Log,
             token: i,
+            relocated: false,
         };
         if let SubmitOutcome::Dispatched { completes_at } = d.submit(now, req) {
             now = completes_at
