@@ -1,0 +1,101 @@
+//! Event-engine hot loops: schedule/pop churn, cancel-heavy timer
+//! workloads, and same-instant FIFO fan-out.
+//!
+//! These three shapes are the inner loops of every experiment run: the
+//! disk-completion chain (each pop schedules a successor), the write-back
+//! flush pattern (most timers are cancelled and rescheduled before they
+//! fire), and daemon ticks landing on the same instant across nodes.
+//!
+//! The payload is sized like the simulator's real `Event` enum (whose
+//! largest variant carries a PVM `Message`, ~64 bytes): what the engine
+//! does with payload bytes while reordering entries is exactly what these
+//! benches exist to measure.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use essio_sim::Engine;
+use std::hint::black_box;
+
+const N: u64 = 10_000;
+
+/// Stand-in for the world-loop `Event` enum: same size class, cheap to
+/// construct, carries a distinguishing value in `tag`.
+#[derive(Clone, Copy)]
+struct Payload {
+    tag: u64,
+    _rest: [u64; 7],
+}
+
+impl Payload {
+    fn new(tag: u64) -> Self {
+        Self { tag, _rest: [0; 7] }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(N));
+
+    // Disk-completion chain: a small frontier where every pop schedules a
+    // successor, N deliveries total.
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut e: Engine<Payload> = Engine::new();
+            for i in 0..64u64 {
+                e.schedule_at(i, Payload::new(i));
+            }
+            let mut n = 0u64;
+            while let Some((t, v)) = e.pop() {
+                n += 1;
+                if n >= N {
+                    break;
+                }
+                e.schedule_in(
+                    v.tag % 13 + 1,
+                    Payload::new(v.tag.wrapping_mul(0x9E37).wrapping_add(t)),
+                );
+            }
+            black_box(n)
+        })
+    });
+
+    // The flush-timer pattern: schedule N, cancel every other one, drain
+    // the survivors. Cancellation cost and corpse handling dominate.
+    g.bench_function("schedule_cancel_pop_10k", |b| {
+        b.iter(|| {
+            let mut e: Engine<Payload> = Engine::new();
+            let mut ids = Vec::with_capacity(N as usize);
+            for i in 0..N {
+                ids.push(e.schedule_at(i / 4, Payload::new(i)));
+            }
+            for id in ids.iter().step_by(2) {
+                black_box(e.cancel(*id));
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = e.pop() {
+                acc = acc.wrapping_add(v.tag);
+            }
+            black_box(acc)
+        })
+    });
+
+    // Daemon ticks across a big cluster all due at one instant: the FIFO
+    // tie-break path.
+    g.bench_function("same_instant_fifo_10k", |b| {
+        b.iter(|| {
+            let mut e: Engine<Payload> = Engine::new();
+            for i in 0..N {
+                e.schedule_at(5, Payload::new(i));
+            }
+            let mut n = 0u64;
+            while e.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -37,6 +37,13 @@ fn main() {
         r.trace.len(),
         r.all_clean()
     );
+    eprintln!(
+        "throughput: {} events ({:.0}/s)  {} records ({:.0}/s)",
+        r.perf.events,
+        r.perf.events_per_sec(),
+        r.perf.records,
+        r.perf.records_per_sec()
+    );
     if json {
         println!(
             "{}",

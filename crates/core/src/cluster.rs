@@ -291,6 +291,9 @@ pub struct Beowulf {
     trace: Vec<TraceRecord>,
     tap: Option<Box<dyn RecordSink>>,
     keep_trace: bool,
+    /// Trace records pulled out of the kernel rings so far (kept or tapped);
+    /// the numerator of records/sec throughput.
+    records_drained: u64,
     exits: Vec<ProcExit>,
     booted: bool,
     /// Virtual time of the last application-side progress (resume, compute
@@ -355,9 +358,14 @@ impl Beowulf {
                 net.clone(),
             )));
         }
+        // The steady-state event population is one in-flight completion or
+        // timer per daemon per node plus a few network messages per node;
+        // sizing the slab for that up front avoids rehash/regrow churn in
+        // the first simulated seconds of every run.
+        let event_capacity = nodes.len() * (DaemonKind::ALL.len() + 4);
         Self {
             cfg,
-            engine: Engine::new(),
+            engine: Engine::with_capacity(event_capacity.max(64)),
             nodes,
             pvm,
             next_pid: 1,
@@ -368,6 +376,7 @@ impl Beowulf {
             trace: Vec::new(),
             tap: None,
             keep_trace: true,
+            records_drained: 0,
             exits: Vec::new(),
             booted: false,
             last_activity: 0,
@@ -551,6 +560,17 @@ impl Beowulf {
         &self.nodes[node as usize].kernel
     }
 
+    /// Simulator events delivered so far (the engine's pop count) — the
+    /// numerator of the events/sec throughput figure.
+    pub fn events_delivered(&self) -> u64 {
+        self.engine.delivered()
+    }
+
+    /// Trace records drained from kernel rings so far (kept or tapped).
+    pub fn records_drained(&self) -> u64 {
+        self.records_drained
+    }
+
     /// Total trace records dropped in kernel rings (should stay 0 when the
     /// drain interval keeps up).
     pub fn trace_dropped(&self) -> u64 {
@@ -604,19 +624,22 @@ impl Beowulf {
     }
 
     fn drain_traces(&mut self) {
+        if self.keep_trace {
+            // One reservation for the whole sweep instead of per-record
+            // doubling while the sinks push.
+            let pending: usize = self.nodes.iter().map(|n| n.kernel.trace_pending()).sum();
+            self.trace.reserve(pending);
+        }
         for n in self.nodes.iter_mut() {
-            match (&mut self.tap, self.keep_trace) {
+            let drained = match (&mut self.tap, self.keep_trace) {
                 (Some(tap), true) => {
                     let mut tee = essio_trace::sink::Tee(tap.as_mut(), &mut self.trace);
-                    n.kernel.drain_trace_into(&mut tee);
+                    n.kernel.drain_trace_into(&mut tee)
                 }
-                (Some(tap), false) => {
-                    n.kernel.drain_trace_into(tap.as_mut());
-                }
-                (None, _) => {
-                    n.kernel.drain_trace_into(&mut self.trace);
-                }
-            }
+                (Some(tap), false) => n.kernel.drain_trace_into(tap.as_mut()),
+                (None, _) => n.kernel.drain_trace_into(&mut self.trace),
+            };
+            self.records_drained += drained as u64;
         }
     }
 

@@ -218,7 +218,7 @@ impl Experiment {
     /// Run the experiment.
     pub fn run(self) -> ExperimentResult {
         let kind = self.kind;
-        let (nodes, duration, trace, exits, degradation) = self.execute(None);
+        let (nodes, duration, trace, exits, degradation, perf) = self.execute(None);
         let summary = TraceSummary::compute(&trace, duration, Self::total_sectors());
         ExperimentResult {
             kind,
@@ -228,6 +228,7 @@ impl Experiment {
             summary,
             exits,
             degradation,
+            perf,
         }
     }
 
@@ -247,7 +248,7 @@ impl Experiment {
         let kind = self.kind;
         let shared = SharedSink::new(sink);
         let tap = Box::new(shared.clone());
-        let (nodes, duration, trace, exits, degradation) = self.execute(Some(tap));
+        let (nodes, duration, trace, exits, degradation, perf) = self.execute(Some(tap));
         debug_assert!(trace.is_empty(), "streaming run must not keep the trace");
         let sink = shared
             .try_unwrap()
@@ -259,6 +260,7 @@ impl Experiment {
                 duration,
                 exits,
                 degradation,
+                perf,
             },
             sink,
         )
@@ -275,7 +277,15 @@ impl Experiment {
     fn execute(
         self,
         tap: Option<Box<dyn RecordSink>>,
-    ) -> (u8, SimTime, Vec<TraceRecord>, Vec<ProcExit>, Degradation) {
+    ) -> (
+        u8,
+        SimTime,
+        Vec<TraceRecord>,
+        Vec<ProcExit>,
+        Degradation,
+        RunPerf,
+    ) {
+        let started = std::time::Instant::now();
         let mut bw = Beowulf::new(self.cluster.clone());
         if let Some(tap) = tap {
             bw.set_tap(tap);
@@ -314,10 +324,51 @@ impl Experiment {
             }
         };
         let trace = bw.take_trace();
+        let perf = RunPerf {
+            events: bw.events_delivered(),
+            records: bw.records_drained(),
+            host_secs: started.elapsed().as_secs_f64(),
+        };
         let nodes = bw.nodes();
         let exits = bw.exits().to_vec();
         let degradation = bw.degradation();
-        (nodes, duration, trace, exits, degradation)
+        (nodes, duration, trace, exits, degradation, perf)
+    }
+}
+
+/// Host-side throughput of one simulator run: how fast the simulation
+/// itself executed, as opposed to what the simulated disks did. The event
+/// count is seed-deterministic, so across code versions at the same seed
+/// events/sec moves exactly as wall time does — the end-to-end figure the
+/// perf baselines in `BENCH_baseline.json` track.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPerf {
+    /// Simulator events delivered by the engine over the whole run.
+    pub events: u64,
+    /// Trace records drained from kernel rings (kept or streamed).
+    pub records: u64,
+    /// Host wall-clock time for the run, seconds (construction through
+    /// final trace drain).
+    pub host_secs: f64,
+}
+
+impl RunPerf {
+    /// Simulator events processed per host-side second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.host_secs > 0.0 {
+            self.events as f64 / self.host_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Trace records produced per host-side second.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.host_secs > 0.0 {
+            self.records as f64 / self.host_secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -336,6 +387,8 @@ pub struct StreamedRun {
     pub exits: Vec<ProcExit>,
     /// Fault and recovery accounting (clean when no plan was attached).
     pub degradation: Degradation,
+    /// Host-side throughput of the run.
+    pub perf: RunPerf,
 }
 
 impl StreamedRun {
@@ -367,6 +420,8 @@ pub struct ExperimentResult {
     pub exits: Vec<ProcExit>,
     /// Fault and recovery accounting (clean when no plan was attached).
     pub degradation: Degradation,
+    /// Host-side throughput of the run.
+    pub perf: RunPerf,
 }
 
 impl ExperimentResult {
@@ -543,6 +598,40 @@ mod tests {
         assert_eq!(a.trace, b.trace, "same seed + same plan = same trace");
         assert!(!a.degradation.is_clean(), "a degraded drive leaves marks");
         assert!(a.degradation.nodes.iter().any(|n| n.retries > 0));
+    }
+
+    #[test]
+    fn perf_counters_are_populated_and_deterministic() {
+        let a = Experiment::nbody().quick().seed(7).run();
+        assert!(a.perf.events > 0, "a run delivers events");
+        assert_eq!(
+            a.perf.records as usize,
+            a.trace.len(),
+            "every kept record was counted as drained"
+        );
+        assert!(a.perf.host_secs > 0.0);
+        assert!(a.perf.events_per_sec() > 0.0);
+        assert!(a.perf.records_per_sec() > 0.0);
+        // Event and record counts depend only on the seed, never on host
+        // speed — the invariant that makes events/sec comparable across
+        // code versions.
+        let b = Experiment::nbody().quick().seed(7).run();
+        assert_eq!(a.perf.events, b.perf.events);
+        assert_eq!(a.perf.records, b.perf.records);
+    }
+
+    #[test]
+    fn streamed_run_reports_perf_too() {
+        let (run, seen) = Experiment::nbody()
+            .quick()
+            .seed(7)
+            .run_streamed(Vec::<TraceRecord>::new());
+        assert_eq!(run.perf.records as usize, seen.len());
+        assert!(run.perf.events > 0);
+        // Batch and streamed runs at one seed are the same simulation.
+        let batch = Experiment::nbody().quick().seed(7).run();
+        assert_eq!(run.perf.events, batch.perf.events);
+        assert_eq!(run.perf.records, batch.perf.records);
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod workloads;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::cluster::{Beowulf, BeowulfConfig, Degradation, NodeDegradation};
-    pub use crate::experiment::{Experiment, ExperimentKind, ExperimentResult, StreamedRun};
+    pub use crate::experiment::{
+        Experiment, ExperimentKind, ExperimentResult, RunPerf, StreamedRun,
+    };
     pub use crate::figures;
     pub use crate::model::WorkloadModel;
     pub use essio_faults::{DiskFaultConfig, FaultPlan, NetFaultConfig, NodeCrash};

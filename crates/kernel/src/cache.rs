@@ -11,8 +11,14 @@
 //! The cache tracks *which* blocks are resident/dirty, not their contents —
 //! contents live in [`crate::fs::Fs`]'s host-side store; the disk subsystem
 //! is a timing/trace model (see crate docs).
+//!
+//! Recency is an **intrusive doubly-linked LRU over a slab**: each resident
+//! block owns a slab node carrying `prev`/`next` indices, so a touch
+//! (unlink + relink at head) and an eviction (unlink tail) are O(1) pointer
+//! swaps with no ordered-index churn. The only per-access hashing left is
+//! the `BlockNo → slot` map lookup itself.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use essio_trace::Origin;
 
@@ -31,19 +37,35 @@ pub struct CacheStats {
     pub dirty_evictions: u64,
 }
 
+/// Null link in the intrusive list / free list.
+const NIL: u32 = u32::MAX;
+
 #[derive(Debug)]
-struct Entry {
-    dirty: bool,
+struct Node {
+    blk: BlockNo,
     origin: Origin,
-    lru: u64,
+    dirty: bool,
+    /// Toward more recently used (NIL at the head).
+    prev: u32,
+    /// Toward less recently used (NIL at the tail).
+    next: u32,
 }
 
 /// The write-back buffer cache.
 #[derive(Debug)]
 pub struct BufferCache {
-    entries: HashMap<BlockNo, Entry>,
-    lru_index: BTreeMap<u64, BlockNo>,
-    tick: u64,
+    /// Residency map: block number → slab slot.
+    map: HashMap<BlockNo, u32>,
+    /// Slab of LRU nodes; freed slots are chained through `next`.
+    nodes: Vec<Node>,
+    /// Head of the free-slot chain.
+    free: u32,
+    /// Most recently used (NIL when empty).
+    head: u32,
+    /// Least recently used (NIL when empty).
+    tail: u32,
+    /// Resident dirty blocks (kept exact so `dirty_count` is O(1)).
+    dirty: usize,
     capacity: usize,
     /// Statistics.
     pub stats: CacheStats,
@@ -55,9 +77,12 @@ impl BufferCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         Self {
-            entries: HashMap::with_capacity(capacity),
-            lru_index: BTreeMap::new(),
-            tick: 0,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: NIL,
+            head: NIL,
+            tail: NIL,
+            dirty: 0,
             capacity,
             stats: CacheStats::default(),
         }
@@ -65,26 +90,101 @@ impl BufferCache {
 
     /// Blocks currently resident.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.map.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.map.is_empty()
     }
 
     /// Dirty blocks currently resident.
     pub fn dirty_count(&self) -> usize {
-        self.entries.values().filter(|e| e.dirty).count()
+        self.dirty
+    }
+
+    /// Unlink `slot` from the recency list (it stays in the slab).
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[slot as usize];
+            (n.prev, n.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    /// Link `slot` at the head (most recently used).
+    fn link_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.nodes[slot as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Move `slot` to the head; no-op if it is already there.
+    fn promote(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.link_front(slot);
+    }
+
+    /// Take a slab slot for `blk` (recycling freed ones) and link it MRU.
+    fn alloc(&mut self, blk: BlockNo, origin: Origin, dirty: bool) -> u32 {
+        let slot = if self.free != NIL {
+            let slot = self.free;
+            let n = &mut self.nodes[slot as usize];
+            self.free = n.next;
+            n.blk = blk;
+            n.origin = origin;
+            n.dirty = dirty;
+            slot
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                blk,
+                origin,
+                dirty,
+                prev: NIL,
+                next: NIL,
+            });
+            slot
+        };
+        self.link_front(slot);
+        slot
+    }
+
+    /// Unlink `slot` from the list and return it to the free chain.
+    fn release(&mut self, slot: u32) {
+        self.unlink(slot);
+        let n = &mut self.nodes[slot as usize];
+        n.next = self.free;
+        n.prev = NIL;
+        self.free = slot;
     }
 
     /// Look up `blk`, refreshing recency. Counts a hit or miss.
     pub fn touch(&mut self, blk: BlockNo) -> bool {
-        if let Some(e) = self.entries.get_mut(&blk) {
-            self.lru_index.remove(&e.lru);
-            self.tick += 1;
-            e.lru = self.tick;
-            self.lru_index.insert(self.tick, blk);
+        if let Some(&slot) = self.map.get(&blk) {
+            self.promote(slot);
             self.stats.hits += 1;
             true
         } else {
@@ -95,7 +195,7 @@ impl BufferCache {
 
     /// Non-counting residency probe.
     pub fn contains(&self, blk: BlockNo) -> bool {
-        self.entries.contains_key(&blk)
+        self.map.contains_key(&blk)
     }
 
     /// Insert a clean block (after a disk read fills it). Returns dirty
@@ -107,13 +207,14 @@ impl BufferCache {
     /// Dirty a block (write-allocate if absent). Returns write-backs from
     /// any eviction this caused.
     pub fn mark_dirty(&mut self, blk: BlockNo, origin: Origin) -> Vec<(BlockNo, Origin)> {
-        if let Some(e) = self.entries.get_mut(&blk) {
-            e.dirty = true;
-            e.origin = origin;
-            self.lru_index.remove(&e.lru);
-            self.tick += 1;
-            e.lru = self.tick;
-            self.lru_index.insert(self.tick, blk);
+        if let Some(&slot) = self.map.get(&blk) {
+            let n = &mut self.nodes[slot as usize];
+            if !n.dirty {
+                n.dirty = true;
+                self.dirty += 1;
+            }
+            n.origin = origin;
+            self.promote(slot);
             return Vec::new();
         }
         self.insert(blk, origin, true)
@@ -123,50 +224,54 @@ impl BufferCache {
         // Re-insertion of a resident block (e.g. two readers racing to fill
         // the same block) refreshes recency in place; dirtiness is sticky —
         // a clean fill must never lose a dirty buffer's pending write.
-        if let Some(e) = self.entries.get_mut(&blk) {
-            e.dirty |= dirty;
-            self.lru_index.remove(&e.lru);
-            self.tick += 1;
-            e.lru = self.tick;
-            self.lru_index.insert(self.tick, blk);
+        if let Some(&slot) = self.map.get(&blk) {
+            let n = &mut self.nodes[slot as usize];
+            if dirty && !n.dirty {
+                n.dirty = true;
+                self.dirty += 1;
+            }
+            self.promote(slot);
             return Vec::new();
         }
         let mut writebacks = Vec::new();
-        while self.entries.len() >= self.capacity {
-            let (&lru, &victim) = self.lru_index.iter().next().expect("index tracks entries");
-            self.lru_index.remove(&lru);
-            let e = self.entries.remove(&victim).expect("indexed entry exists");
+        while self.map.len() >= self.capacity {
+            let victim_slot = self.tail;
+            debug_assert_ne!(victim_slot, NIL, "map non-empty implies a tail");
+            let (victim, victim_origin, victim_dirty) = {
+                let n = &self.nodes[victim_slot as usize];
+                (n.blk, n.origin, n.dirty)
+            };
+            self.release(victim_slot);
+            self.map.remove(&victim);
             self.stats.evictions += 1;
-            if e.dirty {
+            if victim_dirty {
+                self.dirty -= 1;
                 self.stats.dirty_evictions += 1;
-                writebacks.push((victim, e.origin));
+                writebacks.push((victim, victim_origin));
             }
         }
-        self.tick += 1;
-        self.entries.insert(
-            blk,
-            Entry {
-                dirty,
-                origin,
-                lru: self.tick,
-            },
-        );
-        self.lru_index.insert(self.tick, blk);
+        let slot = self.alloc(blk, origin, dirty);
+        self.map.insert(blk, slot);
+        if dirty {
+            self.dirty += 1;
+        }
         writebacks
     }
 
     /// Take every dirty block (sorted by block number — the flush order that
     /// lets the driver merge contiguous ones), marking them clean.
     pub fn take_dirty(&mut self) -> Vec<(BlockNo, Origin)> {
-        let mut out: Vec<(BlockNo, Origin)> = self
-            .entries
-            .iter_mut()
-            .filter(|(_, e)| e.dirty)
-            .map(|(b, e)| {
-                e.dirty = false;
-                (*b, e.origin)
-            })
-            .collect();
+        let mut out: Vec<(BlockNo, Origin)> = Vec::with_capacity(self.dirty);
+        let mut slot = self.head;
+        while slot != NIL {
+            let n = &mut self.nodes[slot as usize];
+            if n.dirty {
+                n.dirty = false;
+                out.push((n.blk, n.origin));
+            }
+            slot = n.next;
+        }
+        self.dirty = 0;
         out.sort_unstable_by_key(|(b, _)| *b);
         out
     }
@@ -175,10 +280,12 @@ impl BufferCache {
     pub fn take_dirty_among(&mut self, blocks: &[BlockNo]) -> Vec<(BlockNo, Origin)> {
         let mut out = Vec::new();
         for b in blocks {
-            if let Some(e) = self.entries.get_mut(b) {
-                if e.dirty {
-                    e.dirty = false;
-                    out.push((*b, e.origin));
+            if let Some(&slot) = self.map.get(b) {
+                let n = &mut self.nodes[slot as usize];
+                if n.dirty {
+                    n.dirty = false;
+                    self.dirty -= 1;
+                    out.push((*b, n.origin));
                 }
             }
         }
@@ -190,8 +297,11 @@ impl BufferCache {
     /// dropped, not written.
     pub fn invalidate(&mut self, blocks: &[BlockNo]) {
         for b in blocks {
-            if let Some(e) = self.entries.remove(b) {
-                self.lru_index.remove(&e.lru);
+            if let Some(slot) = self.map.remove(b) {
+                if self.nodes[slot as usize].dirty {
+                    self.dirty -= 1;
+                }
+                self.release(slot);
             }
         }
     }
@@ -281,7 +391,7 @@ mod tests {
         c.invalidate(&[1]);
         assert!(!c.contains(1));
         assert!(c.take_dirty().is_empty());
-        // LRU index stays consistent: inserting more works fine.
+        // LRU list stays consistent: inserting more works fine.
         for b in 10..20 {
             c.insert_clean(b, O);
         }
@@ -300,5 +410,47 @@ mod tests {
         }
         assert_eq!(c.len(), 16);
         assert_eq!(c.stats.evictions, 1000 - 16);
+    }
+
+    #[test]
+    fn slab_is_bounded_by_capacity_under_churn() {
+        let mut c = BufferCache::new(8);
+        for b in 0..10_000u32 {
+            c.insert_clean(b, O);
+        }
+        assert_eq!(c.len(), 8);
+        assert!(c.nodes.len() <= 8, "slab grew to {}", c.nodes.len());
+    }
+
+    #[test]
+    fn eviction_order_tracks_full_recency_history() {
+        // Interleave touches, dirtying and invalidation, then check the
+        // exact eviction sequence (the old BTreeMap index semantics).
+        let mut c = BufferCache::new(4);
+        for b in [1u32, 2, 3, 4] {
+            c.insert_clean(b, O);
+        }
+        c.touch(1); // recency: 1,4,3,2 (MRU..LRU)
+        c.mark_dirty(3, Origin::Log); // 3,1,4,2
+        c.invalidate(&[4]); // 3,1,2
+        c.insert_clean(5, O); // 5,3,1,2 — full again
+        let wb = c.insert_clean(6, O); // evicts 2 (clean)
+        assert!(wb.is_empty());
+        assert!(!c.contains(2));
+        let wb = c.insert_clean(7, O); // evicts 1 (clean)
+        assert!(wb.is_empty());
+        assert!(!c.contains(1));
+        let wb = c.insert_clean(8, O); // evicts 3 (dirty → write-back)
+        assert_eq!(wb, vec![(3, Origin::Log)]);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn clean_refill_does_not_lose_dirty_state() {
+        let mut c = BufferCache::new(4);
+        c.mark_dirty(1, Origin::Log);
+        c.insert_clean(1, O); // racing reader refills the same block
+        assert_eq!(c.dirty_count(), 1, "dirtiness is sticky");
+        assert_eq!(c.take_dirty(), vec![(1, Origin::Log)]);
     }
 }

@@ -337,6 +337,11 @@ impl Kernel {
         self.driver.drain_trace_into(usize::MAX, sink)
     }
 
+    /// Records currently buffered in the trace ring, waiting to be drained.
+    pub fn trace_pending(&self) -> usize {
+        self.driver.trace_len()
+    }
+
     /// Records lost to trace-ring overflow.
     pub fn trace_dropped(&self) -> u64 {
         self.driver.trace_dropped()

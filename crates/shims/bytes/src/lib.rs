@@ -128,6 +128,11 @@ impl BytesMut {
         self.vec.is_empty()
     }
 
+    /// Drop the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
     /// Convert into an immutable, cheaply clonable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes {

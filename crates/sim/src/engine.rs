@@ -9,17 +9,83 @@
 //!    number), so simulation outcomes never depend on heap internals.
 //! 2. **Cancellation.** Timers that may be superseded (e.g. a write-back
 //!    flush rescheduled because the cache was synced explicitly) are removed
-//!    lazily: [`Engine::cancel`] marks the [`EventId`] dead and [`Engine::pop`]
-//!    skips corpses.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+//!    in O(1): [`Engine::cancel`] invalidates the event's slab slot, and the
+//!    heap entry pointing at it is discarded when it surfaces.
+//!
+//! # Design: slab + generation tags + 4-ary heap
+//!
+//! This is the hottest structure in the tree — every disk completion, daemon
+//! tick, process resume and network delivery passes through it — so it is
+//! built for allocation-free, cache-friendly operation:
+//!
+//! * **Slab.** Event payloads live in a slot vector recycled through a free
+//!   list; steady-state scheduling allocates nothing.
+//! * **Generation tags.** An [`EventId`] is `(slot, generation)`. Ending a
+//!   slot's incarnation (fire or cancel) bumps its generation, so stale
+//!   handles fail an O(1) equality check — no `HashSet` of live ids, no
+//!   per-event hashing anywhere.
+//! * **Implicit 4-ary min-heap** of `(time, seq, slot)` entries: shallower
+//!   than a binary heap (fewer cache lines touched per sift) and branch-
+//!   predictable. Cancelled entries stay in the heap as corpses and are
+//!   freed when they reach the top; the top itself is kept live eagerly
+//!   (`prune_top` after every `pop`/`cancel`), which makes
+//!   [`Engine::peek_time`] and [`Engine::is_idle`] non-mutating `&self`
+//!   reads. Each corpse is pruned exactly once, so the cost of a
+//!   cancellation is O(1) amortized.
 
 use crate::time::SimTime;
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+///
+/// Packs a slab slot index (low 32 bits) and that slot's generation at
+/// scheduling time (high 32 bits); a handle is dead as soon as the event
+/// fires or is cancelled, and dead handles are rejected in O(1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    #[inline]
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// One heap entry: the ordering key plus the slab slot holding the payload.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl HeapEntry {
+    /// Min-heap key: time order, FIFO within an instant.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// Slab slot: payload storage plus the liveness/generation bookkeeping.
+#[derive(Debug)]
+struct Slot<E> {
+    /// Incremented when an incarnation ends (fire or cancel); stale
+    /// [`EventId`]s fail the generation check.
+    gen: u32,
+    /// Scheduled and not yet fired or cancelled.
+    live: bool,
+    payload: Option<E>,
+}
 
 /// A time-ordered event queue with a virtual clock.
 ///
@@ -28,38 +94,17 @@ pub struct EventId(u64);
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Entry<E>>>,
-    /// Sequence numbers currently live in the queue (authoritative for
-    /// cancellation: a fired or already-cancelled event is not here).
-    live: HashSet<u64>,
-    cancelled: HashSet<u64>,
+    heap: Vec<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Live (scheduled, not cancelled) events; corpses in the heap do not
+    /// count.
+    live: usize,
     delivered: u64,
 }
 
-#[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap via `Reverse`; order by time, FIFO within an instant.
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
+/// 4-ary heap arity.
+const ARITY: usize = 4;
 
 impl<E> Default for Engine<E> {
     fn default() -> Self {
@@ -68,14 +113,24 @@ impl<E> Default for Engine<E> {
 }
 
 impl<E> Engine<E> {
-    /// Create an empty engine with the clock at zero.
+    /// Create an empty engine with the clock at zero and a small default
+    /// capacity. Use [`Engine::with_capacity`] when the caller knows its
+    /// steady-state event population (e.g. nodes × daemons).
     pub fn new() -> Self {
+        Self::with_capacity(64)
+    }
+
+    /// Create an empty engine pre-sized for `capacity` concurrently
+    /// scheduled events (heap and slab both reserved; no reallocation
+    /// until the population exceeds it).
+    pub fn with_capacity(capacity: usize) -> Self {
         Self {
             now: 0,
             seq: 0,
-            queue: BinaryHeap::with_capacity(1024),
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            heap: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity.min(1024)),
+            live: 0,
             delivered: 0,
         }
     }
@@ -86,15 +141,16 @@ impl<E> Engine<E> {
         self.now
     }
 
-    /// Number of events delivered so far (diagnostics).
+    /// Number of events delivered so far (diagnostics/throughput).
     #[inline]
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
 
     /// Number of live (scheduled, not cancelled) events.
+    #[inline]
     pub fn pending(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -112,13 +168,32 @@ impl<E> Engine<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Entry {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(!s.live && s.payload.is_none());
+                s.live = true;
+                s.payload = Some(payload);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    live: true,
+                    payload: Some(payload),
+                });
+                slot
+            }
+        };
+        self.live += 1;
+        self.heap.push(HeapEntry {
             time: at,
             seq,
-            payload,
-        }));
-        self.live.insert(seq);
-        EventId(seq)
+            slot,
+        });
+        self.sift_up(self.heap.len() - 1);
+        EventId::new(slot, self.slots[slot as usize].gen)
     }
 
     /// Schedule `payload` at `now + delay`.
@@ -129,47 +204,160 @@ impl<E> Engine<E> {
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (it will be silently dropped), `false` if it had already
-    /// fired or been cancelled.
+    /// fired or been cancelled. O(1) amortized: the handle's slot is
+    /// invalidated; its heap entry is reaped when it surfaces at the top.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.live.remove(&id.0) {
+        let Some(s) = self.slots.get_mut(id.slot() as usize) else {
+            return false;
+        };
+        if s.gen != id.gen() || !s.live {
             return false;
         }
-        self.cancelled.insert(id.0);
+        s.live = false;
+        s.payload = None;
+        s.gen = s.gen.wrapping_add(1);
+        self.live -= 1;
+        // Once corpses outnumber live events, lazy top-pruning would make
+        // every subsequent pop sift a heap that is mostly dead weight;
+        // rebuild without them instead. The O(heap) rebuild is paid for by
+        // the ≥ heap/2 corpses it retires, so cancel stays O(1) amortized.
+        if self.heap.len() - self.live >= self.live {
+            self.compact();
+        } else {
+            // Keep the heap top live so `peek_time`/`is_idle` stay `&self`.
+            self.prune_top();
+        }
         true
     }
 
     /// Pop the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.queue.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            self.live.remove(&entry.seq);
-            debug_assert!(entry.time >= self.now);
-            self.now = entry.time;
-            self.delivered += 1;
-            return Some((entry.time, entry.payload));
-        }
-        None
+        // Invariant: the top of the heap is always live (corpses are pruned
+        // as soon as they surface), so no skip loop is needed here.
+        let entry = *self.heap.first()?;
+        self.remove_top();
+        let s = &mut self.slots[entry.slot as usize];
+        debug_assert!(s.live, "heap top must be live");
+        let payload = s.payload.take().expect("live slot has a payload");
+        s.live = false;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(entry.slot);
+        self.live -= 1;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.delivered += 1;
+        self.prune_top();
+        Some((entry.time, payload))
     }
 
     /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(entry)) = self.queue.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.queue.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(entry.time);
-        }
-        None
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|e| e.time)
     }
 
     /// True when no live events remain.
-    pub fn is_idle(&mut self) -> bool {
-        self.peek_time().is_none()
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discard cancelled entries off the heap top until a live event (or
+    /// nothing) is exposed. Each corpse is visited exactly once over the
+    /// engine's lifetime, so this is O(1) amortized per cancellation — and
+    /// free when nothing is cancelled (the common case): the heap length
+    /// equalling the live count proves there are no corpses anywhere, so
+    /// the slot probe is skipped entirely.
+    #[inline]
+    fn prune_top(&mut self) {
+        if self.heap.len() == self.live {
+            return;
+        }
+        while let Some(top) = self.heap.first() {
+            let slot = top.slot;
+            if self.slots[slot as usize].live {
+                break;
+            }
+            self.remove_top();
+            self.free.push(slot);
+        }
+    }
+
+    /// Drop every corpse and re-heapify the survivors in O(live). Delivery
+    /// order is untouched: the heap layout changes, but pops are ordered by
+    /// the total `(time, seq)` key, which no rebuild can alter.
+    fn compact(&mut self) {
+        let Self {
+            heap, slots, free, ..
+        } = self;
+        heap.retain(|e| {
+            let alive = slots[e.slot as usize].live;
+            if !alive {
+                free.push(e.slot);
+            }
+            alive
+        });
+        let n = self.heap.len();
+        if n > 1 {
+            for i in (0..=(n - 2) / ARITY).rev() {
+                self.sift_down(i);
+            }
+        }
+        debug_assert_eq!(self.heap.len(), self.live);
+    }
+
+    /// Remove the heap root, restoring heap order.
+    fn remove_top(&mut self) {
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        let key = entry.key();
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[parent].key() <= key {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let heap = &mut self.heap[..];
+        let entry = heap[i];
+        let key = entry.key();
+        let len = heap.len();
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            // One slice per level: the bounds check happens once here, not
+            // per child probe.
+            let end = (first_child + ARITY).min(len);
+            let mut min_child = first_child;
+            let mut min_key = heap[first_child].key();
+            for (off, e) in heap[first_child + 1..end].iter().enumerate() {
+                let k = e.key();
+                if k < min_key {
+                    min_child = first_child + 1 + off;
+                    min_key = k;
+                }
+            }
+            if key <= min_key {
+                break;
+            }
+            heap[i] = heap[min_child];
+            i = min_child;
+        }
+        heap[i] = entry;
     }
 }
 
@@ -241,6 +429,19 @@ mod tests {
     }
 
     #[test]
+    fn stale_id_against_reused_slot_is_false() {
+        // After `a` fires, its slab slot is recycled by `b`. The stale
+        // handle must not cancel the new tenant.
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(10, 1);
+        assert_eq!(e.pop(), Some((10, 1)));
+        let b = e.schedule_at(20, 2);
+        assert_eq!(b.slot(), a.slot(), "slot is recycled");
+        assert!(!e.cancel(a), "stale generation must be rejected");
+        assert_eq!(e.pop(), Some((20, 2)));
+    }
+
+    #[test]
     fn peek_skips_cancelled() {
         let mut e: Engine<u32> = Engine::new();
         let a = e.schedule_at(10, 1);
@@ -251,6 +452,88 @@ mod tests {
     }
 
     #[test]
+    fn peek_and_is_idle_take_shared_refs() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(10, 1);
+        // &self access: usable through a shared reference while other
+        // shared borrows are alive.
+        let shared: &Engine<u32> = &e;
+        assert_eq!(shared.peek_time(), Some(10));
+        assert!(!shared.is_idle());
+        e.pop();
+        let shared: &Engine<u32> = &e;
+        assert_eq!(shared.peek_time(), None);
+        assert!(shared.is_idle());
+    }
+
+    #[test]
+    fn cancel_then_peek_then_pop_interleavings() {
+        // Regression for the old lazy-tombstone engine, where `peek_time`
+        // dropped a cancelled queue entry while `pop` separately consulted
+        // the tombstone set: every interleaving of cancel/peek/pop must
+        // agree on the surviving events.
+        //
+        // Case 1: cancel head, peek (prunes), then pop.
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(10, 1);
+        e.schedule_at(20, 2);
+        assert!(e.cancel(a));
+        assert_eq!(e.peek_time(), Some(20));
+        assert_eq!(e.pop(), Some((20, 2)));
+        assert_eq!(e.pop(), None);
+
+        // Case 2: cancel head twice with a peek between; second cancel is
+        // a no-op, nothing else is lost.
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(10, 1);
+        e.schedule_at(20, 2);
+        assert!(e.cancel(a));
+        assert_eq!(e.peek_time(), Some(20));
+        assert!(!e.cancel(a));
+        assert_eq!(e.peek_time(), Some(20));
+        assert_eq!(e.pop(), Some((20, 2)));
+
+        // Case 3: cancel after fire, then peek/pop the rest — the stale
+        // cancellation must not consume the remaining entry.
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_at(10, 1);
+        e.schedule_at(20, 2);
+        assert_eq!(e.pop(), Some((10, 1)));
+        assert!(!e.cancel(a));
+        assert_eq!(e.peek_time(), Some(20));
+        assert_eq!(e.pop(), Some((20, 2)));
+        assert_eq!(e.pop(), None);
+        assert!(e.is_idle());
+
+        // Case 4: cancel a buried (non-top) entry, peek, pop everything;
+        // the corpse is skipped exactly once, FIFO preserved.
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(10, 1);
+        let b = e.schedule_at(20, 2);
+        e.schedule_at(20, 3);
+        e.schedule_at(30, 4);
+        assert!(e.cancel(b));
+        assert_eq!(e.peek_time(), Some(10));
+        assert_eq!(e.pop(), Some((10, 1)));
+        assert_eq!(e.pop(), Some((20, 3)));
+        assert_eq!(e.pop(), Some((30, 4)));
+        assert_eq!(e.pop(), None);
+    }
+
+    #[test]
+    fn cancel_everything_leaves_engine_idle() {
+        let mut e: Engine<u32> = Engine::new();
+        let ids: Vec<EventId> = (0..50).map(|i| e.schedule_at(i, i as u32)).collect();
+        for id in ids {
+            assert!(e.cancel(id));
+        }
+        assert!(e.is_idle());
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.peek_time(), None);
+        assert_eq!(e.pop(), None);
+    }
+
+    #[test]
     fn pending_count_excludes_cancelled() {
         let mut e: Engine<u32> = Engine::new();
         let a = e.schedule_at(10, 1);
@@ -258,6 +541,18 @@ mod tests {
         assert_eq!(e.pending(), 2);
         e.cancel(a);
         assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn with_capacity_does_not_change_semantics() {
+        let mut e: Engine<u32> = Engine::with_capacity(2);
+        for i in 0..100 {
+            e.schedule_at(i, i as u32);
+        }
+        assert_eq!(e.pending(), 100);
+        for i in 0..100 {
+            assert_eq!(e.pop(), Some((i, i as u32)));
+        }
     }
 
     #[test]
@@ -305,5 +600,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn slab_recycles_slots_under_churn() {
+        let mut e: Engine<u64> = Engine::new();
+        for round in 0..100u64 {
+            for i in 0..8 {
+                e.schedule_at(round * 10 + i, i);
+            }
+            for _ in 0..8 {
+                e.pop();
+            }
+        }
+        // 800 events through an 8-deep queue: the slab stays 8 slots.
+        assert!(e.slots.len() <= 8, "slab grew to {}", e.slots.len());
+        assert_eq!(e.delivered(), 800);
     }
 }

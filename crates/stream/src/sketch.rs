@@ -127,7 +127,8 @@ impl<K: Eq + Hash + Ord + Copy> SpaceSaving<K> {
     pub fn merge(&mut self, other: &SpaceSaving<K>) {
         let self_min = self.min_count();
         let other_min = other.min_count();
-        let mut merged: HashMap<K, Counter> = HashMap::new();
+        let mut merged: HashMap<K, Counter> =
+            HashMap::with_capacity(self.counters.len() + other.counters.len());
         for (&k, &c) in &self.counters {
             let (oc, oe) = match other.counters.get(&k) {
                 Some(o) => (o.count, o.err),

@@ -243,6 +243,22 @@ mod tests {
     }
 
     #[test]
+    fn drain_into_columnar_encoder_roundtrips() {
+        // A drain can feed the columnar encoder directly — the compressed
+        // spool path — and the bytes decode back to exactly what was logged.
+        let mut b = TraceBuffer::new(64);
+        b.set_level(InstrumentationLevel::Full);
+        for t in 0..40 {
+            b.log(rec(t));
+        }
+        let mut enc = crate::codec::ColumnarEncoder::with_frame_records(16);
+        assert_eq!(b.drain_into(usize::MAX, &mut enc), 40);
+        let decoded = crate::codec::decode(&enc.finish()).unwrap();
+        assert_eq!(decoded.len(), 40);
+        assert_eq!(decoded, (0..40).map(rec).collect::<Vec<_>>());
+    }
+
+    #[test]
     #[should_panic(expected = "nonzero capacity")]
     fn zero_capacity_rejected() {
         TraceBuffer::new(0);

@@ -1,10 +1,20 @@
-//! Trace serialization: compact binary, CSV, and JSON.
+//! Trace serialization: compact binary (record-at-a-time and columnar),
+//! CSV, and JSON.
 //!
-//! The binary format is a fixed 20-byte little-endian record with a small
-//! header, built on the `bytes` crate. A 2000-second combined-workload run
-//! across 16 nodes produces on the order of 10⁵–10⁶ records; at 20 B each
-//! that is a few MB — cheap to persist per experiment so analyses can be
-//! re-run without re-simulating.
+//! The record-at-a-time binary format is a fixed 20-byte little-endian
+//! record with a small header, built on the `bytes` crate. A 2000-second
+//! combined-workload run across 16 nodes produces on the order of 10⁵–10⁶
+//! records; at 20 B each that is a few MB — cheap to persist per experiment
+//! so analyses can be re-run without re-simulating.
+//!
+//! The **columnar** format ([`encode_columnar`] / [`ColumnarEncoder`])
+//! stores the same records in frames of per-column streams: timestamps and
+//! sectors are zigzag-delta encoded (both columns are locally clustered, so
+//! deltas are tiny), lengths/pending counts are varints, ops are bit-packed.
+//! Campaign-scale traces shrink ~3–4× and decode faster because each column
+//! is a straight run of homogeneous bytes. Both formats decode through
+//! [`decode`] and [`ChunkedDecoder`], which sniff the magic, and the decoded
+//! records are byte-for-byte identical between the two encodings.
 
 use std::io::Read;
 
@@ -16,11 +26,18 @@ use crate::sink::RecordSink;
 /// Magic bytes identifying a binary trace file ("ESIO" + version 1).
 pub const MAGIC: [u8; 4] = *b"ESI\x01";
 
+/// Magic bytes identifying a *columnar* binary trace ("ESC" + version 1).
+pub const MAGIC_COLUMNAR: [u8; 4] = *b"ESC\x01";
+
 /// Bytes per encoded record.
 pub const RECORD_BYTES: usize = 20;
 
+/// Default records per columnar frame: large enough that per-frame headers
+/// vanish, small enough that a streaming reader holds only a few hundred KB.
+pub const COLUMNAR_FRAME_RECORDS: usize = 4096;
+
 /// Errors from decoding a binary trace.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
     /// The header magic did not match [`MAGIC`].
     BadMagic,
@@ -34,6 +51,13 @@ pub enum DecodeError {
     },
     /// A record carried an invalid op flag.
     BadOp(u8),
+    /// A columnar frame did not decode cleanly (varint overflow, column
+    /// overrun, or an impossible header). `at` is the byte offset of the
+    /// frame's first byte.
+    Corrupt {
+        /// Offset of the corrupt frame.
+        at: u64,
+    },
     /// The underlying reader failed (streaming decode only).
     Io(std::io::ErrorKind),
 }
@@ -46,6 +70,9 @@ impl std::fmt::Display for DecodeError {
                 write!(f, "trace truncated mid-record at byte {at}")
             }
             DecodeError::BadOp(v) => write!(f, "invalid op flag {v}"),
+            DecodeError::Corrupt { at } => {
+                write!(f, "corrupt columnar frame at byte {at}")
+            }
             DecodeError::Io(kind) => write!(f, "trace read failed: {kind}"),
         }
     }
@@ -100,8 +127,17 @@ fn decode_record(mut b: &[u8]) -> Result<TraceRecord, DecodeError> {
     })
 }
 
-/// Decode a binary trace produced by [`encode`].
-pub fn decode(mut data: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
+/// Decode a binary trace produced by [`encode`] or [`encode_columnar`]
+/// (the header magic selects the format).
+pub fn decode(data: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
+    if data.len() >= MAGIC_COLUMNAR.len() && data[..MAGIC_COLUMNAR.len()] == MAGIC_COLUMNAR {
+        return decode_columnar(data);
+    }
+    decode_fixed(data)
+}
+
+/// Decode a record-at-a-time binary trace produced by [`encode`].
+fn decode_fixed(mut data: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
     if data.len() < MAGIC.len() || data[..MAGIC.len()] != MAGIC {
         return Err(DecodeError::BadMagic);
     }
@@ -119,17 +155,324 @@ pub fn decode(mut data: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
     Ok(out)
 }
 
-/// Streaming decoder: replays a binary trace in fixed-size chunks so peak
+// ---------------------------------------------------------------------------
+// Columnar format: frames of delta+varint column streams.
+//
+// Wire layout after the 4-byte magic, one frame per ≤ frame_records batch:
+//
+//   varint n          record count (never 0)
+//   varint body_len   bytes of frame body following the header
+//   body:
+//     ts      n × zigzag-varint wrapping deltas (prev starts at 0 per frame)
+//     sector  n × zigzag-varint wrapping deltas (prev starts at 0 per frame)
+//     nsectors, pending   n × varint each
+//     node    n raw bytes
+//     op      ⌈n/8⌉ bytes, LSB-first bit per record (1 = Write)
+//     origin  n raw bytes
+//
+// Deltas use wrapping arithmetic so the format is total over arbitrary u64
+// timestamps and u32 sectors, not just monotone ones.
+// ---------------------------------------------------------------------------
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    // Stage in a stack buffer so the (LEB128-max) 10 bytes land in the
+    // output with one append instead of one per byte.
+    let mut tmp = [0u8; 10];
+    let mut n = 0;
+    while v >= 0x80 {
+        tmp[n] = (v as u8) | 0x80;
+        n += 1;
+        v >>= 7;
+    }
+    tmp[n] = v as u8;
+    buf.put_slice(&tmp[..n + 1]);
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Cursor over a byte slice with varint reads; `None` means overrun.
+struct ColCursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ColCursor<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Self { b, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.b.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn varint(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return None; // would overflow u64
+            }
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Incremental columnar encoder; a [`RecordSink`], so it can be fed
+/// directly from `TraceBuffer::drain_into` or installed as a live tap.
+///
+/// Records accumulate into frames of `frame_records`; [`finish`] flushes
+/// the partial tail frame and returns the encoded bytes.
+///
+/// [`finish`]: ColumnarEncoder::finish
+pub struct ColumnarEncoder {
+    out: BytesMut,
+    body: BytesMut,
+    pending: Vec<TraceRecord>,
+    frame_records: usize,
+}
+
+impl Default for ColumnarEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColumnarEncoder {
+    /// Encoder with the default frame size.
+    pub fn new() -> Self {
+        Self::with_frame_records(COLUMNAR_FRAME_RECORDS)
+    }
+
+    /// Encoder flushing a frame every `frame_records` records.
+    pub fn with_frame_records(frame_records: usize) -> Self {
+        let frame_records = frame_records.max(1);
+        let mut out = BytesMut::with_capacity(4096);
+        out.put_slice(&MAGIC_COLUMNAR);
+        Self {
+            out,
+            body: BytesMut::new(),
+            pending: Vec::with_capacity(frame_records),
+            frame_records,
+        }
+    }
+
+    /// Records buffered but not yet flushed into a frame.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, rec: TraceRecord) {
+        self.pending.push(rec);
+        if self.pending.len() >= self.frame_records {
+            self.flush_frame();
+        }
+    }
+
+    fn flush_frame(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let body = &mut self.body;
+        body.clear();
+        let mut prev_ts = 0u64;
+        for r in &self.pending {
+            put_varint(body, zigzag(r.ts.wrapping_sub(prev_ts) as i64));
+            prev_ts = r.ts;
+        }
+        let mut prev_sector = 0u32;
+        for r in &self.pending {
+            put_varint(
+                body,
+                zigzag(r.sector.wrapping_sub(prev_sector) as i32 as i64),
+            );
+            prev_sector = r.sector;
+        }
+        for r in &self.pending {
+            put_varint(body, r.nsectors as u64);
+        }
+        for r in &self.pending {
+            put_varint(body, r.pending as u64);
+        }
+        for r in &self.pending {
+            body.put_u8(r.node);
+        }
+        let mut bits = 0u8;
+        for (i, r) in self.pending.iter().enumerate() {
+            if r.op == Op::Write {
+                bits |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                body.put_u8(bits);
+                bits = 0;
+            }
+        }
+        if !self.pending.len().is_multiple_of(8) {
+            body.put_u8(bits);
+        }
+        for r in &self.pending {
+            body.put_u8(r.origin as u8);
+        }
+        put_varint(&mut self.out, self.pending.len() as u64);
+        put_varint(&mut self.out, body.len() as u64);
+        self.out.put_slice(&body[..]);
+        self.pending.clear();
+    }
+
+    /// Flush the tail frame and return the complete encoded trace.
+    pub fn finish(mut self) -> Bytes {
+        self.flush_frame();
+        self.out.freeze()
+    }
+}
+
+impl RecordSink for ColumnarEncoder {
+    fn observe(&mut self, rec: &TraceRecord) {
+        self.push(*rec);
+    }
+}
+
+/// Encode records into the columnar binary format (one-shot convenience
+/// over [`ColumnarEncoder`]).
+pub fn encode_columnar(records: &[TraceRecord]) -> Bytes {
+    let mut enc = ColumnarEncoder::new();
+    for r in records {
+        enc.push(*r);
+    }
+    enc.finish()
+}
+
+/// Decode one columnar frame body holding `n` records into `out`.
+fn decode_columnar_frame(
+    body: &[u8],
+    n: usize,
+    out: &mut Vec<TraceRecord>,
+    frame_at: u64,
+) -> Result<(), DecodeError> {
+    let corrupt = || DecodeError::Corrupt { at: frame_at };
+    let base = out.len();
+    out.reserve(n);
+    let mut c = ColCursor::new(body);
+    let mut ts = 0u64;
+    for _ in 0..n {
+        ts = ts.wrapping_add(unzigzag(c.varint().ok_or_else(corrupt)?) as u64);
+        out.push(TraceRecord {
+            ts,
+            sector: 0,
+            nsectors: 0,
+            pending: 0,
+            node: 0,
+            op: Op::Read,
+            origin: Origin::Unknown,
+        });
+    }
+    let mut sector = 0u32;
+    for r in &mut out[base..] {
+        let delta = unzigzag(c.varint().ok_or_else(corrupt)?);
+        sector = sector.wrapping_add(delta as i32 as u32);
+        r.sector = sector;
+    }
+    for r in &mut out[base..] {
+        let v = c.varint().ok_or_else(corrupt)?;
+        r.nsectors = u16::try_from(v).map_err(|_| corrupt())?;
+    }
+    for r in &mut out[base..] {
+        let v = c.varint().ok_or_else(corrupt)?;
+        r.pending = u16::try_from(v).map_err(|_| corrupt())?;
+    }
+    for r in &mut out[base..] {
+        r.node = c.u8().ok_or_else(corrupt)?;
+    }
+    let mut bits = 0u8;
+    for (i, r) in out[base..].iter_mut().enumerate() {
+        if i % 8 == 0 {
+            bits = c.u8().ok_or_else(corrupt)?;
+        }
+        r.op = if bits & (1 << (i % 8)) != 0 {
+            Op::Write
+        } else {
+            Op::Read
+        };
+    }
+    for r in &mut out[base..] {
+        r.origin = Origin::from_u8(c.u8().ok_or_else(corrupt)?);
+    }
+    if c.pos != body.len() {
+        return Err(corrupt());
+    }
+    Ok(())
+}
+
+/// Decode a columnar trace produced by [`encode_columnar`]. Decoded records
+/// are identical to what [`decode`] yields for the record-at-a-time
+/// encoding of the same batch.
+pub fn decode_columnar(data: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
+    if data.len() < MAGIC_COLUMNAR.len() || data[..MAGIC_COLUMNAR.len()] != MAGIC_COLUMNAR {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut pos = MAGIC_COLUMNAR.len();
+    let mut out = Vec::new();
+    while pos < data.len() {
+        let frame_at = pos as u64;
+        let mut c = ColCursor::new(&data[pos..]);
+        let n = c.varint().ok_or(DecodeError::Truncated { at: frame_at })?;
+        let body_len = c.varint().ok_or(DecodeError::Truncated { at: frame_at })? as usize;
+        if n == 0 {
+            return Err(DecodeError::Corrupt { at: frame_at });
+        }
+        let body_start = pos + c.pos;
+        let body_end = body_start
+            .checked_add(body_len)
+            .ok_or(DecodeError::Corrupt { at: frame_at })?;
+        if body_end > data.len() {
+            return Err(DecodeError::Truncated { at: frame_at });
+        }
+        decode_columnar_frame(&data[body_start..body_end], n as usize, &mut out, frame_at)?;
+        pos = body_end;
+    }
+    Ok(out)
+}
+
+/// Which wire format a streaming decoder found behind the magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireFormat {
+    /// 20-byte record-at-a-time ([`MAGIC`]).
+    Fixed,
+    /// Delta+varint column frames ([`MAGIC_COLUMNAR`]).
+    Columnar,
+}
+
+/// Streaming decoder: replays a binary trace in bounded chunks so peak
 /// resident memory is `O(chunk_records)` regardless of trace length.
 ///
 /// A multi-hour campaign trace can run to 10⁷ records; the batch [`decode`]
 /// materialises all of them, while this decoder holds one chunk at a time —
 /// the natural feed for the incremental states in `essio-stream`, which
 /// only ever need the record currently in hand.
+///
+/// Both wire formats are accepted (the magic is sniffed): record-at-a-time
+/// traces are read `chunk_records` records at a time, columnar traces one
+/// frame at a time (the resident bound is then the encoder's frame size).
 pub struct ChunkedDecoder<R: Read> {
     src: R,
     buf: Vec<u8>,
-    started: bool,
+    chunk_records: usize,
+    format: Option<WireFormat>,
     done: bool,
     /// Bytes consumed from the stream so far (magic included) — the basis
     /// of the offset reported by [`DecodeError::Truncated`].
@@ -137,13 +480,15 @@ pub struct ChunkedDecoder<R: Read> {
 }
 
 impl<R: Read> ChunkedDecoder<R> {
-    /// Wrap a reader; `chunk_records` bounds records resident per chunk.
+    /// Wrap a reader; `chunk_records` bounds records resident per chunk
+    /// (for columnar traces the encoder's frame size is the bound).
     pub fn new(src: R, chunk_records: usize) -> Self {
         let chunk = chunk_records.max(1);
         Self {
             src,
             buf: vec![0u8; chunk * RECORD_BYTES],
-            started: false,
+            chunk_records: chunk,
+            format: None,
             done: false,
             consumed: 0,
         }
@@ -151,7 +496,7 @@ impl<R: Read> ChunkedDecoder<R> {
 
     /// Records per chunk this decoder was configured with.
     pub fn chunk_records(&self) -> usize {
-        self.buf.len() / RECORD_BYTES
+        self.chunk_records
     }
 
     /// Read until `buf` is full or EOF; return bytes read.
@@ -168,25 +513,65 @@ impl<R: Read> ChunkedDecoder<R> {
         Ok(filled)
     }
 
+    /// Read one varint byte-by-byte. `Ok(None)` only when EOF hits before
+    /// the first byte; EOF mid-varint is `Truncated` at `frame_at`.
+    fn read_varint(&mut self, frame_at: u64) -> Result<Option<u64>, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            if Self::read_full(&mut self.src, &mut byte)? == 0 {
+                return if shift == 0 {
+                    Ok(None)
+                } else {
+                    Err(DecodeError::Truncated { at: frame_at })
+                };
+            }
+            self.consumed += 1;
+            if shift >= 64 || (shift == 63 && byte[0] > 1) {
+                return Err(DecodeError::Corrupt { at: frame_at });
+            }
+            v |= ((byte[0] & 0x7F) as u64) << shift;
+            if byte[0] & 0x80 == 0 {
+                return Ok(Some(v));
+            }
+            shift += 7;
+        }
+    }
+
     /// Decode the next chunk into `out` (cleared first). Returns the number
     /// of records produced; `Ok(0)` means the trace ended cleanly. A trace
-    /// that ends mid-record yields [`DecodeError::Truncated`].
+    /// that ends mid-record (or mid-frame) yields [`DecodeError::Truncated`].
     pub fn next_chunk(&mut self, out: &mut Vec<TraceRecord>) -> Result<usize, DecodeError> {
         out.clear();
-        if !self.started {
+        if self.format.is_none() {
             let mut magic = [0u8; MAGIC.len()];
             let n = Self::read_full(&mut self.src, &mut magic)?;
-            if n < MAGIC.len() || magic != MAGIC {
+            if n < MAGIC.len() {
                 return Err(DecodeError::BadMagic);
             }
-            self.started = true;
+            self.format = Some(if magic == MAGIC {
+                WireFormat::Fixed
+            } else if magic == MAGIC_COLUMNAR {
+                WireFormat::Columnar
+            } else {
+                return Err(DecodeError::BadMagic);
+            });
             self.consumed = MAGIC.len() as u64;
         }
         if self.done {
             return Ok(0);
         }
-        let n = Self::read_full(&mut self.src, &mut self.buf)?;
-        if n < self.buf.len() {
+        match self.format.expect("sniffed above") {
+            WireFormat::Fixed => self.next_fixed_chunk(out),
+            WireFormat::Columnar => self.next_columnar_frame(out),
+        }
+    }
+
+    fn next_fixed_chunk(&mut self, out: &mut Vec<TraceRecord>) -> Result<usize, DecodeError> {
+        let chunk_bytes = self.chunk_records * RECORD_BYTES;
+        let n = Self::read_full(&mut self.src, &mut self.buf[..chunk_bytes])?;
+        if n < chunk_bytes {
             self.done = true;
         }
         if n % RECORD_BYTES != 0 {
@@ -200,6 +585,30 @@ impl<R: Read> ChunkedDecoder<R> {
             out.push(decode_record(rec)?);
         }
         Ok(n / RECORD_BYTES)
+    }
+
+    fn next_columnar_frame(&mut self, out: &mut Vec<TraceRecord>) -> Result<usize, DecodeError> {
+        let frame_at = self.consumed;
+        let Some(n) = self.read_varint(frame_at)? else {
+            self.done = true;
+            return Ok(0);
+        };
+        let body_len = self
+            .read_varint(frame_at)?
+            .ok_or(DecodeError::Truncated { at: frame_at })? as usize;
+        if n == 0 {
+            return Err(DecodeError::Corrupt { at: frame_at });
+        }
+        if self.buf.len() < body_len {
+            self.buf.resize(body_len, 0);
+        }
+        let got = Self::read_full(&mut self.src, &mut self.buf[..body_len])?;
+        if got < body_len {
+            return Err(DecodeError::Truncated { at: frame_at });
+        }
+        self.consumed += body_len as u64;
+        decode_columnar_frame(&self.buf[..body_len], n as usize, out, frame_at)?;
+        Ok(n as usize)
     }
 }
 
@@ -472,5 +881,169 @@ mod tests {
         let mut dec = ChunkedDecoder::new(&encoded[..], 4);
         assert_eq!(dec.next_chunk(&mut Vec::new()), Ok(0));
         assert_eq!(dec.next_chunk(&mut Vec::new()), Ok(0));
+    }
+
+    // ---- columnar format ----
+
+    #[test]
+    fn varint_zigzag_roundtrip_extremes() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::MAX,
+            i64::MIN,
+            1 << 40,
+            -(1 << 40),
+        ] {
+            let mut b = BytesMut::new();
+            put_varint(&mut b, zigzag(v));
+            let bytes = b.freeze();
+            let mut c = ColCursor::new(&bytes);
+            assert_eq!(unzigzag(c.varint().unwrap()), v);
+            assert_eq!(c.pos, bytes.len());
+        }
+    }
+
+    #[test]
+    fn columnar_roundtrip_sample_and_empty() {
+        let recs = sample();
+        let encoded = encode_columnar(&recs);
+        assert_eq!(decode_columnar(&encoded).unwrap(), recs);
+        // Generic decode sniffs the magic and lands on the same records.
+        assert_eq!(decode(&encoded).unwrap(), recs);
+        let empty = encode_columnar(&[]);
+        assert_eq!(empty.as_ref(), &MAGIC_COLUMNAR[..]);
+        assert_eq!(decode(&empty).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn columnar_agrees_with_fixed_on_decoded_records() {
+        let recs = many(10_000);
+        let fixed = encode(&recs);
+        let columnar = encode_columnar(&recs);
+        assert_eq!(decode(&columnar).unwrap(), decode(&fixed).unwrap());
+        // Sorted monotone timestamps delta-compress well; the win is the
+        // point of the format, so pin it coarsely.
+        assert!(
+            columnar.len() * 2 < fixed.len(),
+            "columnar {} vs fixed {}",
+            columnar.len(),
+            fixed.len()
+        );
+    }
+
+    #[test]
+    fn columnar_multi_frame_roundtrip() {
+        // Frame size smaller than the batch forces several frames, with a
+        // ragged tail.
+        let recs = many(103);
+        let mut enc = ColumnarEncoder::with_frame_records(16);
+        for r in &recs {
+            enc.push(*r);
+        }
+        let encoded = enc.finish();
+        assert_eq!(decode_columnar(&encoded).unwrap(), recs);
+    }
+
+    #[test]
+    fn columnar_encoder_is_a_record_sink() {
+        let recs = many(33);
+        let mut enc = ColumnarEncoder::with_frame_records(8);
+        RecordSink::observe_all(&mut enc, &recs);
+        assert_eq!(decode(&enc.finish()).unwrap(), recs);
+    }
+
+    #[test]
+    fn columnar_chunked_matches_batch_decode() {
+        for (n, frame) in [
+            (0usize, 4usize),
+            (1, 4),
+            (7, 3),
+            (64, 64),
+            (65, 64),
+            (100, 7),
+        ] {
+            let recs = many(n);
+            let mut enc = ColumnarEncoder::with_frame_records(frame);
+            for r in &recs {
+                enc.push(*r);
+            }
+            let encoded = enc.finish();
+            let mut dec = ChunkedDecoder::new(&encoded[..], 4);
+            let mut out = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                let got = dec.next_chunk(&mut buf).unwrap();
+                assert!(got <= frame, "frame bound holds");
+                if got == 0 {
+                    break;
+                }
+                out.extend_from_slice(&buf);
+            }
+            assert_eq!(out, recs, "n={n} frame={frame}");
+        }
+    }
+
+    #[test]
+    fn columnar_truncation_reports_frame_start_batch_and_chunked() {
+        let recs = many(40);
+        let mut enc = ColumnarEncoder::with_frame_records(16);
+        for r in &recs {
+            enc.push(*r);
+        }
+        let full = enc.finish().to_vec();
+
+        // Find the start of the last frame by walking the frame headers.
+        let mut pos = MAGIC_COLUMNAR.len();
+        let mut last_frame = pos;
+        while pos < full.len() {
+            last_frame = pos;
+            let mut c = ColCursor::new(&full[pos..]);
+            let _n = c.varint().unwrap();
+            let body_len = c.varint().unwrap() as usize;
+            pos += c.pos + body_len;
+        }
+
+        // Chop into the last frame's body.
+        let mut cut = full.clone();
+        cut.truncate(full.len() - 2);
+        let want = DecodeError::Truncated {
+            at: last_frame as u64,
+        };
+        assert_eq!(decode(&cut), Err(want.clone()));
+        assert_eq!(drain_chunked(&cut, 8), Err(want.clone()));
+
+        // Chop mid-header of the last frame.
+        let mut cut = full.clone();
+        cut.truncate(last_frame + 1);
+        assert_eq!(decode(&cut), Err(want.clone()));
+        assert_eq!(drain_chunked(&cut, 8), Err(want));
+    }
+
+    #[test]
+    fn columnar_trailing_garbage_in_frame_body_is_corrupt() {
+        let recs = many(5);
+        let encoded = encode_columnar(&recs).to_vec();
+        // Rewrite the header so the body claims one extra byte... actually
+        // simpler: append a whole bogus frame with a fat body.
+        let mut bad = encoded.clone();
+        bad.push(0x01); // n = 1
+        bad.push(0x09); // body_len = 9, but a 1-record body is smaller
+        bad.extend_from_slice(&[0u8; 9]);
+        let at = encoded.len() as u64;
+        assert_eq!(decode(&bad), Err(DecodeError::Corrupt { at }));
+    }
+
+    #[test]
+    fn columnar_zero_record_frame_is_corrupt() {
+        let mut bad = MAGIC_COLUMNAR.to_vec();
+        bad.push(0x00); // n = 0
+        bad.push(0x00); // body_len = 0
+        let at = MAGIC_COLUMNAR.len() as u64;
+        assert_eq!(decode(&bad), Err(DecodeError::Corrupt { at }));
+        assert_eq!(drain_chunked(&bad, 4), Err(DecodeError::Corrupt { at }));
     }
 }

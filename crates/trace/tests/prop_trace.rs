@@ -40,6 +40,31 @@ fn trace(max: usize) -> impl Strategy<Value = Vec<TraceRecord>> {
     })
 }
 
+/// Unconstrained records: full-range fields, unsorted timestamps. The
+/// columnar deltas are wrapping, so the format must be total over these.
+fn wild_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<bool>(),
+        any::<u8>(),
+    )
+        .prop_map(
+            |(ts, sector, nsectors, pending, node, read, origin)| TraceRecord {
+                ts,
+                sector,
+                nsectors,
+                pending,
+                node,
+                op: if read { Op::Read } else { Op::Write },
+                origin: Origin::from_u8(origin),
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -47,6 +72,53 @@ proptest! {
     fn binary_codec_roundtrips_arbitrary_traces(t in trace(300)) {
         let encoded = codec::encode(&t);
         prop_assert_eq!(codec::decode(&encoded).unwrap(), t);
+    }
+
+    #[test]
+    fn columnar_codec_roundtrips_arbitrary_traces(
+        t in prop::collection::vec(wild_record(), 0..300),
+        frame in 1usize..70,
+    ) {
+        let mut enc = codec::ColumnarEncoder::with_frame_records(frame);
+        for r in &t {
+            enc.push(*r);
+        }
+        let encoded = enc.finish();
+        prop_assert_eq!(codec::decode_columnar(&encoded).unwrap(), t);
+    }
+
+    #[test]
+    fn columnar_and_fixed_decode_to_identical_records(t in trace(300)) {
+        let fixed = codec::encode(&t);
+        let columnar = codec::encode_columnar(&t);
+        // The sniffing decoder must see both encodings as the same trace.
+        prop_assert_eq!(
+            codec::decode(&columnar).unwrap(),
+            codec::decode(&fixed).unwrap()
+        );
+    }
+
+    #[test]
+    fn columnar_chunked_decode_matches_batch(
+        t in prop::collection::vec(wild_record(), 0..200),
+        frame in 1usize..40,
+        chunk in 1usize..40,
+    ) {
+        let mut enc = codec::ColumnarEncoder::with_frame_records(frame);
+        for r in &t {
+            enc.push(*r);
+        }
+        let encoded = enc.finish();
+        let mut out: Vec<TraceRecord> = Vec::new();
+        codec::decode_chunked(&encoded[..], chunk, &mut out).unwrap();
+        prop_assert_eq!(out, t);
+    }
+
+    #[test]
+    fn truncated_columnar_never_panics(t in trace(50), cut in 0usize..400) {
+        let encoded = codec::encode_columnar(&t);
+        let cut = cut.min(encoded.len());
+        let _ = codec::decode(&encoded[..cut]); // must return Err or Ok, not panic
     }
 
     #[test]
