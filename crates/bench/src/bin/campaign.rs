@@ -13,8 +13,16 @@
 //! * the sketch views (hot-sector sketch, inter-arrival histogram).
 //!
 //! Usage: `campaign [--seeds N] [--kind baseline|ppm|wavelet|nbody|combined]
-//! [--faults none|disk|net|crash|all] [--full]` — defaults: 8 seeds,
-//! combined, no faults, quick scale.
+//! [--faults none|disk|net|crash|all] [--full] [--obs-dir DIR]` — defaults:
+//! 8 seeds, combined, no faults, quick scale, no observability output.
+//!
+//! With `--obs-dir DIR`, every seed runs with the observability plane on
+//! and writes three artifacts into `DIR`: `seed-N.trace.json` (Chrome
+//! trace-event JSON, loadable at `ui.perfetto.dev`), `seed-N.proc.txt`
+//! (the `/proc`-style counter snapshot) and `seed-N.json` (run metadata:
+//! host-side perf counters plus the full metrics registry). The metrics
+//! registries of all completed seeds are also merged — scope-wise, order
+//! independent — into `merged.json` / `merged.proc.txt`.
 //!
 //! With `--faults`, every seed runs under the same deterministic
 //! [`FaultPlan`] preset; seeds that end degraded (or crash outright) are
@@ -58,6 +66,7 @@ struct Args {
     kind: ExperimentKind,
     faults: FaultPreset,
     full: bool,
+    obs_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -66,6 +75,7 @@ fn parse_args() -> Args {
         kind: ExperimentKind::Combined,
         faults: FaultPreset::None,
         full: false,
+        obs_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -108,8 +118,15 @@ fn parse_args() -> Args {
                 };
             }
             "--full" => args.full = true,
+            "--obs-dir" => match it.next() {
+                Some(dir) if !dir.is_empty() => args.obs_dir = Some(dir.into()),
+                _ => {
+                    eprintln!("--obs-dir needs a directory path");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: campaign [--seeds N] [--kind baseline|ppm|wavelet|nbody|combined] [--faults none|disk|net|crash|all] [--full]");
+                eprintln!("usage: campaign [--seeds N] [--kind baseline|ppm|wavelet|nbody|combined] [--faults none|disk|net|crash|all] [--full] [--obs-dir DIR]");
                 std::process::exit(0);
             }
             other => {
@@ -121,7 +138,13 @@ fn parse_args() -> Args {
     args
 }
 
-fn experiment(kind: ExperimentKind, full: bool, seed: u64, faults: FaultPreset) -> Experiment {
+fn experiment(
+    kind: ExperimentKind,
+    full: bool,
+    seed: u64,
+    faults: FaultPreset,
+    obs: bool,
+) -> Experiment {
     let e = match kind {
         ExperimentKind::Baseline => Experiment::baseline(),
         ExperimentKind::Ppm => Experiment::ppm(),
@@ -131,7 +154,78 @@ fn experiment(kind: ExperimentKind, full: bool, seed: u64, faults: FaultPreset) 
     };
     let e = if full { e } else { e.quick() };
     let nodes = e.cluster.nodes;
-    e.seed(seed).faults(faults.plan(nodes))
+    e.seed(seed).faults(faults.plan(nodes)).obs(obs)
+}
+
+/// Write one file under the obs dir, or die with a usable message — a
+/// campaign whose artifacts silently failed to land is worse than one
+/// that stops.
+fn write_obs(dir: &std::path::Path, name: &str, contents: &str) {
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("campaign: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+/// Per-seed obs artifacts plus the cross-seed metric merge.
+fn export_obs(
+    dir: &std::path::Path,
+    kind: ExperimentKind,
+    runs: &mut [(u64, StreamedRun, StreamSummary)],
+) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("campaign: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let mut merged = essio_obs::MetricsRegistry::new();
+    let mut merged_seeds = 0u64;
+    for (seed, run, _) in runs.iter_mut() {
+        let Some(report) = run.obs.take() else {
+            continue; // seed ran before the obs knob existed — impossible here
+        };
+        merged.merge(&report.metrics);
+        merged_seeds += 1;
+        write_obs(
+            dir,
+            &format!("seed-{seed}.trace.json"),
+            &report.chrome_trace(),
+        );
+        write_obs(dir, &format!("seed-{seed}.proc.txt"), &report.proc_text());
+        let meta = PerSeedMeta {
+            seed: *seed,
+            kind: kind.name(),
+            duration_us: run.duration,
+            perf: run.perf,
+            obs: report,
+        };
+        let json = serde_json::to_string_pretty(&meta).unwrap_or_else(|e| {
+            eprintln!("campaign: seed {seed} metadata failed to serialize: {e}");
+            std::process::exit(1);
+        });
+        write_obs(dir, &format!("seed-{seed}.json"), &json);
+    }
+    let merged_json = serde_json::to_string_pretty(&merged).unwrap_or_else(|e| {
+        eprintln!("campaign: merged metrics failed to serialize: {e}");
+        std::process::exit(1);
+    });
+    write_obs(dir, "merged.json", &merged_json);
+    write_obs(dir, "merged.proc.txt", &merged.render_text(""));
+    eprintln!(
+        "obs: wrote {merged_seeds} seed reports + merged metrics to {}",
+        dir.display()
+    );
+}
+
+/// The `seed-N.json` document: which run this was, how fast the host
+/// executed it, and the full metrics snapshot.
+#[derive(serde::Serialize)]
+struct PerSeedMeta {
+    seed: u64,
+    kind: &'static str,
+    duration_us: u64,
+    perf: RunPerf,
+    obs: essio_obs::ObsReport,
 }
 
 fn main() {
@@ -150,6 +244,7 @@ fn main() {
         rayon::max_threads().min(args.seeds as usize),
     );
 
+    let obs = args.obs_dir.is_some();
     let t0 = std::time::Instant::now();
     let seeds: Vec<u64> = (1..=args.seeds).collect();
     // A seed that dies (panics) under fault injection is reported and
@@ -158,7 +253,8 @@ fn main() {
         .into_par_iter()
         .map(|seed| {
             let result = std::panic::catch_unwind(|| {
-                experiment(kind, args.full, seed, args.faults).run_streamed(StreamSummary::new(cfg))
+                experiment(kind, args.full, seed, args.faults, obs)
+                    .run_streamed(StreamSummary::new(cfg))
             });
             (seed, result.ok())
         })
@@ -170,7 +266,7 @@ fn main() {
         .filter(|(_, r)| r.is_none())
         .map(|(s, _)| *s)
         .collect();
-    let runs: Vec<(u64, StreamedRun, StreamSummary)> = outcomes
+    let mut runs: Vec<(u64, StreamedRun, StreamSummary)> = outcomes
         .into_iter()
         .filter_map(|(seed, r)| r.map(|(run, summary)| (seed, run, summary)))
         .collect();
@@ -180,6 +276,10 @@ fn main() {
             println!("failed seeds: {failed:?}");
         }
         return;
+    }
+
+    if let Some(dir) = &args.obs_dir {
+        export_obs(dir, kind, &mut runs);
     }
 
     let nodes = runs.first().map(|(_, r, _)| r.nodes).unwrap_or(1).max(1) as u64;

@@ -4,16 +4,28 @@
 //! Usage: `paper [--full]` (quick 2-node scale by default).
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use essio::figures;
 use essio::prelude::*;
 use essio_bench::Cli;
 
+/// Write one output file; a data file that silently failed to land would
+/// make the regenerated figures lie, so bail with the path and cause.
+fn write_file(path: &Path, contents: &str) {
+    if let Err(e) = fs::write(path, contents) {
+        eprintln!("paper: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let cli = Cli::parse();
     let out_dir = PathBuf::from("target/paper");
-    fs::create_dir_all(&out_dir).expect("create output dir");
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("paper: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
 
     let baseline = cli.run(ExperimentKind::Baseline);
     let ppm = cli.run(ExperimentKind::Ppm);
@@ -30,7 +42,7 @@ fn main() {
         ("fig6", figures::fig6(&combined)),
     ];
     for (name, fig) in &scatters {
-        fs::write(out_dir.join(format!("{name}.tsv")), fig.to_tsv()).expect("write tsv");
+        write_file(&out_dir.join(format!("{name}.tsv")), &fig.to_tsv());
         println!("{}", fig.to_ascii(100, 24));
     }
 
@@ -40,7 +52,7 @@ fn main() {
     for b in &spatial.bands {
         tsv.push_str(&format!("{}\t{}\t{:.3}\n", b.start, b.requests, b.pct));
     }
-    fs::write(out_dir.join("fig7.tsv"), tsv).expect("write fig7");
+    write_file(&out_dir.join("fig7.tsv"), &tsv);
 
     let temporal = figures::fig8(&combined);
     print!("{}", temporal.report());
@@ -51,13 +63,13 @@ fn main() {
             h.sector, h.accesses, h.freq_per_sec
         ));
     }
-    fs::write(out_dir.join("fig8.tsv"), tsv).expect("write fig8");
+    write_file(&out_dir.join("fig8.tsv"), &tsv);
 
     let refs = [&baseline, &ppm, &wavelet, &nbody, &combined];
     let table = figures::table1(&refs);
     println!("Table 1. I/O Requests (average per disk)");
     println!("{table}");
-    fs::write(out_dir.join("table1.txt"), &table).expect("write table1");
+    write_file(&out_dir.join("table1.txt"), &table);
 
     // The paper's "next step": fit + validate the workload parameter set.
     let model = WorkloadModel::fit(&combined.trace, combined.duration);
@@ -71,7 +83,7 @@ fn main() {
         v.rate_rel_err * 100.0,
         v.read_frac_err
     );
-    fs::write(out_dir.join("workload_model.json"), model.to_json()).expect("write model");
+    write_file(&out_dir.join("workload_model.json"), &model.to_json());
 
     println!("TSV data written to {}", out_dir.display());
 }

@@ -20,6 +20,7 @@ use essio_apps::{AppCall, AppReply};
 use essio_faults::{FaultPlan, NetFaultState};
 use essio_kernel::{Kernel, KernelConfig, Pid, Placement};
 use essio_net::{BarrierOutcome, Ethernet, Message, NetConfig, NetOp, NetResult, Pvm, TaskId};
+use essio_obs::{NetEvent, Obs, ObsReport};
 use essio_sim::{Engine, ProcConfig, ProcMsg, ProcessHost, SimTime};
 use essio_trace::{InstrumentationLevel, RecordSink, TraceRecord};
 use serde::Serialize;
@@ -110,6 +111,10 @@ pub struct BeowulfConfig {
     /// crashes). The default plan is empty and the fault plane is then
     /// completely inert: traces are bit-identical with or without it.
     pub faults: FaultPlan,
+    /// Observability plane (request-lifecycle spans + metrics registry).
+    /// Off by default: every hook is an inert enum-variant check and
+    /// traces are bit-identical with or without the plane compiled in.
+    pub obs: bool,
 }
 
 impl Default for BeowulfConfig {
@@ -127,6 +132,7 @@ impl Default for BeowulfConfig {
             drain_every_us: 5_000_000,
             disk_fault_every: None,
             faults: FaultPlan::none(),
+            obs: false,
         }
     }
 }
@@ -157,6 +163,9 @@ struct NodeSim {
     restarted: bool,
     trace_lost: u64,
     dirty_lost: u64,
+    /// Per-node observability sink (shared with the kernel and driver);
+    /// `Obs::Off` unless [`BeowulfConfig::obs`] is set.
+    obs: Obs,
 }
 
 /// Fault and recovery accounting for one node after a run.
@@ -300,6 +309,9 @@ pub struct Beowulf {
     /// completion, exit). Drives the stall watchdog when the fault plan
     /// schedules crashes.
     last_activity: SimTime,
+    /// Delayed PVM sends (retransmit backoff > 0) observed when the obs
+    /// plane is on; linked to the receiver's next request span.
+    net_events: Vec<NetEvent>,
 }
 
 /// How long surviving processes may sit with no progress after a crash
@@ -337,6 +349,8 @@ impl Beowulf {
             kc.disk_faults = cfg.faults.disk.clone();
             let mut kernel = Kernel::new(kc);
             kernel.set_instrumentation(cfg.instrumentation);
+            let obs = if cfg.obs { Obs::enabled(n) } else { Obs::Off };
+            kernel.set_obs(obs.clone());
             nodes.push(NodeSim {
                 kernel,
                 hosts: HashMap::new(),
@@ -349,6 +363,7 @@ impl Beowulf {
                 restarted: false,
                 trace_lost: 0,
                 dirty_lost: 0,
+                obs,
             });
         }
         let mut pvm = Pvm::new(Ethernet::new(cfg.net.clone()));
@@ -380,6 +395,7 @@ impl Beowulf {
             exits: Vec::new(),
             booted: false,
             last_activity: 0,
+            net_events: Vec::new(),
         }
     }
 
@@ -623,6 +639,31 @@ impl Beowulf {
         }
     }
 
+    /// Collect the observability report: per-node spans, physical-command
+    /// timeline, delayed sends, and the merged metrics registry. `None`
+    /// unless the cluster was built with [`BeowulfConfig::obs`] set.
+    ///
+    /// Collection force-closes any span still open at the current virtual
+    /// time (marking it `truncated`), so call this after the run finishes.
+    pub fn obs_report(&mut self) -> Option<ObsReport> {
+        if !self.cfg.obs {
+            return None;
+        }
+        let now = self.engine.now();
+        let mut report = ObsReport {
+            nodes: self.cfg.nodes,
+            duration_us: now,
+            ..ObsReport::default()
+        };
+        for ns in &self.nodes {
+            if let Some(h) = ns.obs.handle() {
+                h.borrow_mut().collect_into(now, &mut report);
+            }
+        }
+        report.add_net_events(std::mem::take(&mut self.net_events), self.pvm.retransmits);
+        Some(report)
+    }
+
     fn drain_traces(&mut self) {
         if self.keep_trace {
             // One reservation for the whole sweep instead of per-record
@@ -776,6 +817,7 @@ impl Beowulf {
             self.fail_proc(now, node, pid, CRASHED_EXIT_CODE, "node crash");
         }
         let ns = &mut self.nodes[node as usize];
+        ns.obs.abort(now);
         let report = ns.kernel.power_fail();
         ns.trace_lost += report.trace_records_lost;
         ns.dirty_lost += report.dirty_blocks_lost;
@@ -909,6 +951,23 @@ impl Beowulf {
                     seq: 0, // stamped by Pvm::send
                 };
                 let plan = self.pvm.send(now, &mut msg);
+                if plan.backoff_us > 0 {
+                    if let Some(&(dnode, dpid)) = self.loc_of.get(&msg.to) {
+                        self.nodes[dnode as usize]
+                            .obs
+                            .note_net_delay(dpid, plan.backoff_us);
+                        if self.cfg.obs {
+                            self.net_events.push(NetEvent {
+                                at_us: now,
+                                from_node: node,
+                                from_pid: pid,
+                                to_pid: dpid,
+                                attempts: plan.attempts,
+                                backoff_us: plan.backoff_us,
+                            });
+                        }
+                    }
+                }
                 for at in plan.deliveries {
                     self.engine.schedule_at(at, Event::NetDeliver(msg.clone()));
                 }

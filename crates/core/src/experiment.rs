@@ -20,6 +20,9 @@ use essio_trace::analysis::{RwStats, TraceSummary};
 use essio_trace::sink::SharedSink;
 use essio_trace::{InstrumentationLevel, RecordSink, TraceRecord};
 
+use essio_obs::ObsReport;
+use serde::Serialize;
+
 use crate::cluster::{Beowulf, BeowulfConfig, Degradation, ProcExit};
 use crate::workloads;
 
@@ -182,6 +185,15 @@ impl Experiment {
         self
     }
 
+    /// Enable the observability plane: request-lifecycle spans in virtual
+    /// time, per-node metrics, and the physical-command timeline, returned
+    /// as [`ExperimentResult::obs`] / [`StreamedRun::obs`]. Off by default;
+    /// the simulated disk trace is bit-identical either way.
+    pub fn obs(mut self, on: bool) -> Self {
+        self.cluster.obs = on;
+        self
+    }
+
     /// Attach a deterministic fault plan (disk media errors, frame loss,
     /// node crashes). An empty plan leaves the run bit-identical to one
     /// without it.
@@ -218,17 +230,18 @@ impl Experiment {
     /// Run the experiment.
     pub fn run(self) -> ExperimentResult {
         let kind = self.kind;
-        let (nodes, duration, trace, exits, degradation, perf) = self.execute(None);
-        let summary = TraceSummary::compute(&trace, duration, Self::total_sectors());
+        let out = self.execute(None);
+        let summary = TraceSummary::compute(&out.trace, out.duration, Self::total_sectors());
         ExperimentResult {
             kind,
-            nodes,
-            duration,
-            trace,
+            nodes: out.nodes,
+            duration: out.duration,
+            trace: out.trace,
             summary,
-            exits,
-            degradation,
-            perf,
+            exits: out.exits,
+            degradation: out.degradation,
+            perf: out.perf,
+            obs: out.obs,
         }
     }
 
@@ -248,19 +261,23 @@ impl Experiment {
         let kind = self.kind;
         let shared = SharedSink::new(sink);
         let tap = Box::new(shared.clone());
-        let (nodes, duration, trace, exits, degradation, perf) = self.execute(Some(tap));
-        debug_assert!(trace.is_empty(), "streaming run must not keep the trace");
+        let out = self.execute(Some(tap));
+        debug_assert!(
+            out.trace.is_empty(),
+            "streaming run must not keep the trace"
+        );
         let sink = shared
             .try_unwrap()
             .unwrap_or_else(|_| unreachable!("cluster dropped, tap handle released"));
         (
             StreamedRun {
                 kind,
-                nodes,
-                duration,
-                exits,
-                degradation,
-                perf,
+                nodes: out.nodes,
+                duration: out.duration,
+                exits: out.exits,
+                degradation: out.degradation,
+                perf: out.perf,
+                obs: out.obs,
             },
             sink,
         )
@@ -274,17 +291,7 @@ impl Experiment {
     /// Shared run loop behind [`Experiment::run`] and
     /// [`Experiment::run_streamed`]. With a tap the host-side trace vector
     /// stays empty and the returned trace is empty too.
-    fn execute(
-        self,
-        tap: Option<Box<dyn RecordSink>>,
-    ) -> (
-        u8,
-        SimTime,
-        Vec<TraceRecord>,
-        Vec<ProcExit>,
-        Degradation,
-        RunPerf,
-    ) {
+    fn execute(self, tap: Option<Box<dyn RecordSink>>) -> RunOutput {
         let started = std::time::Instant::now();
         let mut bw = Beowulf::new(self.cluster.clone());
         if let Some(tap) = tap {
@@ -323,6 +330,7 @@ impl Experiment {
                 bw.now()
             }
         };
+        let obs = bw.obs_report();
         let trace = bw.take_trace();
         let perf = RunPerf {
             events: bw.events_delivered(),
@@ -332,8 +340,28 @@ impl Experiment {
         let nodes = bw.nodes();
         let exits = bw.exits().to_vec();
         let degradation = bw.degradation();
-        (nodes, duration, trace, exits, degradation, perf)
+        RunOutput {
+            nodes,
+            duration,
+            trace,
+            exits,
+            degradation,
+            perf,
+            obs,
+        }
     }
+}
+
+/// Everything [`Experiment::execute`] hands back to the two public run
+/// modes.
+struct RunOutput {
+    nodes: u8,
+    duration: SimTime,
+    trace: Vec<TraceRecord>,
+    exits: Vec<ProcExit>,
+    degradation: Degradation,
+    perf: RunPerf,
+    obs: Option<ObsReport>,
 }
 
 /// Host-side throughput of one simulator run: how fast the simulation
@@ -341,7 +369,7 @@ impl Experiment {
 /// count is seed-deterministic, so across code versions at the same seed
 /// events/sec moves exactly as wall time does — the end-to-end figure the
 /// perf baselines in `BENCH_baseline.json` track.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct RunPerf {
     /// Simulator events delivered by the engine over the whole run.
     pub events: u64,
@@ -389,6 +417,9 @@ pub struct StreamedRun {
     pub degradation: Degradation,
     /// Host-side throughput of the run.
     pub perf: RunPerf,
+    /// Observability report (spans, metrics, physical timeline); `Some`
+    /// only when the run was built with [`Experiment::obs`]`(true)`.
+    pub obs: Option<ObsReport>,
 }
 
 impl StreamedRun {
@@ -422,6 +453,9 @@ pub struct ExperimentResult {
     pub degradation: Degradation,
     /// Host-side throughput of the run.
     pub perf: RunPerf,
+    /// Observability report (spans, metrics, physical timeline); `Some`
+    /// only when the run was built with [`Experiment::obs`]`(true)`.
+    pub obs: Option<ObsReport>,
 }
 
 impl ExperimentResult {

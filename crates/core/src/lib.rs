@@ -50,5 +50,6 @@ pub mod prelude {
     pub use crate::figures;
     pub use crate::model::WorkloadModel;
     pub use essio_faults::{DiskFaultConfig, FaultPlan, NetFaultConfig, NodeCrash};
+    pub use essio_obs::{MetricsRegistry, ObsReport};
     pub use essio_trace::analysis::TraceSummary;
 }

@@ -19,6 +19,7 @@
 //! is queued, the next deadline.
 
 use essio_faults::{DiskFault, DiskFaultState};
+use essio_obs::Obs;
 use essio_sim::SimTime;
 use essio_trace::{InstrumentationLevel, Op, Origin, RecordSink, TraceBuffer, TraceRecord};
 
@@ -119,6 +120,7 @@ pub struct IdeDriver {
     head_pos: u32,
     commands: u64,
     stats: DriverStats,
+    obs: Obs,
 }
 
 impl IdeDriver {
@@ -135,7 +137,13 @@ impl IdeDriver {
             head_pos: 0,
             commands: 0,
             stats: DriverStats::default(),
+            obs: Obs::Off,
         }
+    }
+
+    /// Install the observability sink (shared with the kernel above).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The ioctl: change instrumentation level at runtime.
@@ -217,6 +225,7 @@ impl IdeDriver {
     pub fn submit(&mut self, now: SimTime, req: BlockRequest) -> SubmitOutcome {
         assert!(req.nsectors > 0, "zero-length block request");
         self.stats.submitted += 1;
+        self.obs.disk_submit(now, req.token);
         let queued = QueuedRequest {
             sector: req.sector,
             nsectors: req.nsectors,
@@ -262,6 +271,7 @@ impl IdeDriver {
             origin: done.origin,
             failed,
         };
+        self.obs.disk_complete(now, &completion.tokens, failed);
         let next = self
             .queue
             .pop_next(self.head_pos)
@@ -319,6 +329,15 @@ impl IdeDriver {
             op: req.op,
             origin: req.origin,
         });
+        self.obs.disk_dispatch(
+            now,
+            &req.tokens,
+            req.sector as u64,
+            req.nsectors as u32,
+            req.op,
+            req.origin,
+            self.queue.len(),
+        );
         self.in_flight = Some(req);
         now + service
     }

@@ -21,6 +21,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use essio_disk::{BlockRequest, Completion, IdeDriver, SubmitOutcome};
+use essio_obs::{Obs, SpanKind, SpanScope};
 use essio_sim::{SimRng, SimTime, Vpn};
 use essio_trace::{InstrumentationLevel, Op, Origin, RecordSink, TraceRecord};
 
@@ -226,6 +227,7 @@ pub struct Kernel {
     spooled_records: u64,
     log_offset: u64,
     ktable_offset: u64,
+    obs: Obs,
 }
 
 impl Kernel {
@@ -270,7 +272,15 @@ impl Kernel {
             spooled_records: 0,
             log_offset: 0,
             ktable_offset: 0,
+            obs: Obs::Off,
         }
+    }
+
+    /// Install the observability sink; a clone goes to the driver so the
+    /// two layers annotate the same per-node span state.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.driver.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Immutable access to the filesystem (experiment setup/validation).
@@ -494,6 +504,11 @@ impl Kernel {
 
     /// Write back evicted dirty blocks (asynchronous, nobody waits).
     fn writeback(&mut self, now: SimTime, blocks: &[(BlockNo, Origin)]) -> Option<SimTime> {
+        if blocks.is_empty() {
+            return None;
+        }
+        let scope = self.obs.begin(now, SpanKind::Writeback, None);
+        self.obs.writeback_blocks(blocks.len() as u64);
         let mut deadline = None;
         for (b, origin) in blocks {
             let d = self.submit(
@@ -507,6 +522,7 @@ impl Kernel {
             );
             deadline = deadline.or(d);
         }
+        self.obs.finish(now, scope);
         deadline
     }
 
@@ -539,11 +555,15 @@ impl Kernel {
 
     /// Append to the syslog file (syslogd and `LogMsg`).
     fn append_log(&mut self, now: SimTime, len: u32) -> Option<SimTime> {
+        let scope = self.obs.begin(now, SpanKind::Log, None);
         let line = vec![b'#'; len as usize];
         let off = self.log_offset;
         self.log_offset += len as u64;
-        self.apply_write(now, self.syslog_ino, off, &line, Origin::Log)
-            .expect("log region has space")
+        let d = self
+            .apply_write(now, self.syslog_ino, off, &line, Origin::Log)
+            .expect("log region has space");
+        self.obs.finish(now, scope);
+        d
     }
 
     /// Multiprogramming level (for the read-ahead boost): how many user
@@ -560,7 +580,36 @@ impl Kernel {
 
     /// Handle a syscall from `pid`. Returns the outcome plus a disk deadline
     /// to schedule, if this call started the drive.
+    ///
+    /// I/O syscalls open a request span here, at the boundary; the span
+    /// stays open past a `Blocked` return and closes when the last disk
+    /// token it spawned completes (readahead tails included).
     pub fn syscall(&mut self, now: SimTime, pid: Pid, call: Syscall) -> (Outcome, Option<SimTime>) {
+        let kind = match &call {
+            Syscall::Open { .. } => Some(SpanKind::Open),
+            Syscall::ReadAt { .. } => Some(SpanKind::Read),
+            Syscall::WriteAt { .. } => Some(SpanKind::Write),
+            Syscall::Fsync { .. } => Some(SpanKind::Fsync),
+            Syscall::Sync => Some(SpanKind::Sync),
+            // `Append` recurses into `WriteAt` (which opens the span);
+            // `LogMsg` spans inside `append_log` with the daemon path.
+            _ => None,
+        };
+        let scope = match kind {
+            Some(k) => self.obs.begin(now, k, Some(pid)),
+            None => SpanScope::NONE,
+        };
+        let out = self.syscall_inner(now, pid, call);
+        self.obs.finish(now, scope);
+        out
+    }
+
+    fn syscall_inner(
+        &mut self,
+        now: SimTime,
+        pid: Pid,
+        call: Syscall,
+    ) -> (Outcome, Option<SimTime>) {
         debug_assert!(self.procs.contains_key(&pid), "unregistered pid {pid}");
         let base = self.cfg.syscall_us;
         match call {
@@ -625,6 +674,8 @@ impl Kernel {
                     .copied()
                     .filter(|b| !self.cache.touch(*b))
                     .collect();
+                self.obs
+                    .cache_access((meta.len() - misses.len()) as u32, misses.len() as u32);
                 for b in &misses {
                     let wb = self.cache.insert_clean(*b, Origin::Metadata);
                     // Evictions from metadata fill are rare; handle anyway.
@@ -771,6 +822,7 @@ impl Kernel {
                 });
                 let blocks: Vec<BlockNo> = dirty.iter().map(|(b, _)| *b).collect();
                 let origin = dirty.first().map(|(_, o)| *o).unwrap_or(Origin::FileData);
+                self.obs.writeback_blocks(blocks.len() as u64);
                 let (_, deadline) =
                     self.submit_block_runs(now, &blocks, Op::Write, origin, Some(pid), false);
                 (Outcome::Blocked, deadline)
@@ -794,6 +846,7 @@ impl Kernel {
                         result: SysResult::Unit,
                     },
                 });
+                self.obs.writeback_blocks(dirty.len() as u64);
                 let mut deadline = None;
                 for (b, origin) in dirty {
                     let d = self.submit(
@@ -955,7 +1008,9 @@ impl Kernel {
             .get_mut(&pid)
             .and_then(|p| p.fds.get_mut(&fd))
             .expect("checked above");
-        let ra_blocks: Vec<BlockNo> = match of.ra.on_read(offset, len, cap) {
+        let prefetch = of.ra.on_read(offset, len, cap);
+        let ra_window = prefetch.as_ref().map(|p| p.blocks).unwrap_or(0);
+        let ra_blocks: Vec<BlockNo> = match prefetch {
             Some(p) => self.fs.blocks_in_range(ino, p.start, p.blocks),
             None => Vec::new(),
         };
@@ -967,12 +1022,19 @@ impl Kernel {
             .copied()
             .filter(|b| !self.cache.touch(*b))
             .collect();
+        self.obs.cache_access(
+            (plan.blocks.len() - misses.len()) as u32,
+            misses.len() as u32,
+        );
         let mut meta_misses: Vec<BlockNo> = Vec::new();
         if let Some(ind) = plan.indirect {
             if !self.cache.touch(ind) {
+                self.obs.cache_access(0, 1);
                 meta_misses.push(ind);
                 let wb = self.cache.insert_clean(ind, Origin::Metadata);
                 let _ = self.writeback(now, &wb);
+            } else {
+                self.obs.cache_access(1, 0);
             }
         }
         // Read-ahead misses (blocks not already cached), fetched async.
@@ -980,6 +1042,9 @@ impl Kernel {
             .into_iter()
             .filter(|b| !self.cache.contains(*b))
             .collect();
+        if ra_window > 0 {
+            self.obs.readahead(ra_window, ra_misses.len() as u32);
+        }
 
         let mut deadline = None;
         // Fill cache entries for everything being fetched.
@@ -1079,18 +1144,22 @@ impl Kernel {
                 }
                 TouchResult::Fault { io, swap_outs } => {
                     cpu_us += self.cfg.fault_us;
-                    for slot in swap_outs {
-                        let sector = self.vm.slot_sector(slot);
-                        let d = self.submit(
-                            now,
-                            sector,
-                            SECTORS_PER_PAGE as u16,
-                            Op::Write,
-                            Origin::SwapOut,
-                            Vec::new(),
-                            None,
-                        );
-                        deadline = deadline.or(d);
+                    if !swap_outs.is_empty() {
+                        let scope = self.obs.begin(now, SpanKind::SwapOut, Some(pid));
+                        for slot in swap_outs {
+                            let sector = self.vm.slot_sector(slot);
+                            let d = self.submit(
+                                now,
+                                sector,
+                                SECTORS_PER_PAGE as u16,
+                                Op::Write,
+                                Origin::SwapOut,
+                                Vec::new(),
+                                None,
+                            );
+                            deadline = deadline.or(d);
+                        }
+                        self.obs.finish(now, scope);
                     }
                     match io {
                         FaultIo::None => {}
@@ -1103,6 +1172,7 @@ impl Kernel {
                                     cpu_us,
                                 },
                             });
+                            let scope = self.obs.begin(now, SpanKind::SwapIn, Some(pid));
                             let d = self.submit(
                                 now,
                                 sector,
@@ -1112,6 +1182,7 @@ impl Kernel {
                                 Vec::new(),
                                 Some(pid),
                             );
+                            self.obs.finish(now, scope);
                             return (TouchOutcome::Blocked, deadline.or(d));
                         }
                         FaultIo::PageIn { ino, page } => {
@@ -1127,6 +1198,7 @@ impl Kernel {
                                     cpu_us,
                                 },
                             });
+                            let scope = self.obs.begin(now, SpanKind::PageIn, Some(pid));
                             let d = self.submit(
                                 now,
                                 sector,
@@ -1136,6 +1208,7 @@ impl Kernel {
                                 Vec::new(),
                                 Some(pid),
                             );
+                            self.obs.finish(now, scope);
                             return (TouchOutcome::Blocked, deadline.or(d));
                         }
                     }
@@ -1240,6 +1313,7 @@ impl Kernel {
         }
         let token = self.next_token;
         self.next_token += 1;
+        self.obs.disk_retry(token, &originals, relocated);
         self.retries.insert(
             token,
             RetryGroup {
@@ -1274,17 +1348,22 @@ impl Kernel {
             DaemonKind::Update => {
                 let dirty = self.cache.take_dirty();
                 let mut deadline = None;
-                for (b, origin) in dirty {
-                    let d = self.submit(
-                        now,
-                        b * SECTORS_PER_BLOCK,
-                        SECTORS_PER_BLOCK as u16,
-                        Op::Write,
-                        origin,
-                        Vec::new(),
-                        None,
-                    );
-                    deadline = deadline.or(d);
+                if !dirty.is_empty() {
+                    let scope = self.obs.begin(now, SpanKind::DaemonFlush, None);
+                    self.obs.writeback_blocks(dirty.len() as u64);
+                    for (b, origin) in dirty {
+                        let d = self.submit(
+                            now,
+                            b * SECTORS_PER_BLOCK,
+                            SECTORS_PER_BLOCK as u16,
+                            Op::Write,
+                            origin,
+                            Vec::new(),
+                            None,
+                        );
+                        deadline = deadline.or(d);
+                    }
+                    self.obs.finish(now, scope);
                 }
                 deadline
             }

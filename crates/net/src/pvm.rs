@@ -45,6 +45,9 @@ pub struct SendPlan {
     pub deliveries: Vec<SimTime>,
     /// Frames put on the wire (1 = no loss).
     pub attempts: u32,
+    /// Total retransmit backoff accumulated before the message went out
+    /// (0 = no loss); the delay the reliability layer charged the sender.
+    pub backoff_us: u64,
 }
 
 /// Network requests a process can issue.
@@ -170,12 +173,14 @@ impl Pvm {
                     return SendPlan {
                         deliveries: vec![t],
                         attempts,
+                        backoff_us: start - now,
                     }
                 }
                 TxOutcome::Duplicated(a, b) => {
                     return SendPlan {
                         deliveries: vec![a, b],
                         attempts,
+                        backoff_us: start - now,
                     }
                 }
                 TxOutcome::Lost => {
@@ -189,6 +194,7 @@ impl Pvm {
                         return SendPlan {
                             deliveries: vec![t],
                             attempts: attempts + 1,
+                            backoff_us: start - now,
                         };
                     }
                 }

@@ -1,0 +1,498 @@
+//! Per-node span collector and typed metric counters.
+
+use std::collections::HashMap;
+
+use essio_sim::SimTime;
+use essio_stream::sketch::LogHistogram;
+use essio_trace::{Op, Origin, SECTOR_BYTES};
+
+use crate::export::ObsReport;
+use crate::registry::MetricsRegistry;
+use crate::span::{PhysSpan, Span, SpanKind};
+use crate::{SpanId, SpanScope, NO_SPAN};
+
+/// Typed per-node counters and sketches, folded into the
+/// [`MetricsRegistry`] when the run is collected.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMetrics {
+    /// Page-cache hits.
+    pub cache_hits: u64,
+    /// Page-cache misses.
+    pub cache_misses: u64,
+    /// Readahead prefetch decisions.
+    pub ra_prefetches: u64,
+    /// Blocks prefetched.
+    pub ra_blocks: u64,
+    /// Readahead window sizes at each prefetch.
+    pub ra_window: LogHistogram,
+    /// Dirty blocks pushed by write-back and the update daemon.
+    pub writeback_blocks: u64,
+    /// Tokens submitted to the driver.
+    pub submits: u64,
+    /// Physical commands dispatched (= trace records).
+    pub records: u64,
+    /// Bytes moved by dispatched commands.
+    pub bytes: u64,
+    /// Queue depth left at each dispatch.
+    pub queue_depth: LogHistogram,
+    /// Submit→dispatch waits (per token).
+    pub queue_wait_us: LogHistogram,
+    /// Dispatch→complete service times (per command).
+    pub service_us: LogHistogram,
+    /// Commands the fault oracle failed.
+    pub failed_cmds: u64,
+    /// Retry commands issued.
+    pub retries: u64,
+    /// Spare-region relocations.
+    pub relocations: u64,
+    /// Spans opened.
+    pub spans_opened: u64,
+    /// Spans closed normally.
+    pub spans_closed: u64,
+    /// Spans force-closed by crash or end of run.
+    pub spans_truncated: u64,
+    /// Span lifetimes (close − open), normal closes only.
+    pub span_latency_us: LogHistogram,
+    /// Spans that inherited PVM retransmit delay.
+    pub net_delayed_spans: u64,
+    /// Total PVM backoff charged to spans.
+    pub net_delay_us: u64,
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    span: Span,
+    outstanding: u32,
+    finished: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TokenObs {
+    span: SpanId,
+    retry: bool,
+    submit_us: SimTime,
+    dispatch_us: SimTime,
+}
+
+/// Shared per-node observability state: open/closed spans, token→span
+/// bindings, in-flight physical commands, and typed metrics. All methods
+/// are called from the node's single-threaded event context.
+#[derive(Debug)]
+pub struct NodeObs {
+    node: u8,
+    next_span: SpanId,
+    current: SpanId,
+    open: HashMap<SpanId, OpenSpan>,
+    closed: Vec<Span>,
+    tokens: HashMap<u64, TokenObs>,
+    /// Retry tokens bound to a span before they reach the driver.
+    pre_bound: HashMap<u64, SpanId>,
+    /// Retry token → the original tokens it will complete.
+    retry_groups: HashMap<u64, Vec<u64>>,
+    /// In-flight physical commands, keyed by first token.
+    phys_open: HashMap<u64, PhysSpan>,
+    phys: Vec<PhysSpan>,
+    /// PVM backoff awaiting the pid's next span.
+    pending_net_delay: HashMap<u32, u64>,
+    /// Typed counters, folded into the registry at collection.
+    pub metrics: NodeMetrics,
+}
+
+impl NodeObs {
+    /// Fresh collector for `node`.
+    pub fn new(node: u8) -> Self {
+        NodeObs {
+            node,
+            next_span: 1,
+            current: NO_SPAN,
+            open: HashMap::new(),
+            closed: Vec::new(),
+            tokens: HashMap::new(),
+            pre_bound: HashMap::new(),
+            retry_groups: HashMap::new(),
+            phys_open: HashMap::new(),
+            phys: Vec::new(),
+            pending_net_delay: HashMap::new(),
+            metrics: NodeMetrics::default(),
+        }
+    }
+
+    pub(crate) fn begin(&mut self, now: SimTime, kind: SpanKind, pid: Option<u32>) -> SpanScope {
+        let id = self.next_span;
+        self.next_span += 1;
+        let mut span = Span::new(id, self.node, kind, pid, now);
+        if let Some(p) = pid {
+            if let Some(d) = self.pending_net_delay.remove(&p) {
+                span.net_delay_us = d;
+                self.metrics.net_delayed_spans += 1;
+                self.metrics.net_delay_us += d;
+            }
+        }
+        self.metrics.spans_opened += 1;
+        self.open.insert(
+            id,
+            OpenSpan {
+                span,
+                outstanding: 0,
+                finished: false,
+            },
+        );
+        SpanScope {
+            id,
+            prev: std::mem::replace(&mut self.current, id),
+        }
+    }
+
+    pub(crate) fn finish(&mut self, now: SimTime, scope: SpanScope) {
+        if scope.id == NO_SPAN {
+            return;
+        }
+        self.current = scope.prev;
+        if let Some(os) = self.open.get_mut(&scope.id) {
+            os.finished = true;
+            if os.outstanding == 0 {
+                self.close(now, scope.id);
+            }
+        }
+    }
+
+    fn close(&mut self, now: SimTime, id: SpanId) {
+        if let Some(os) = self.open.remove(&id) {
+            let mut span = os.span;
+            span.end_us = now;
+            self.metrics.spans_closed += 1;
+            self.metrics
+                .span_latency_us
+                .observe(span.end_us - span.begin_us);
+            self.closed.push(span);
+        }
+    }
+
+    /// Decrement a span's outstanding-token count; close it if drained.
+    fn release(&mut self, now: SimTime, id: SpanId) {
+        let Some(os) = self.open.get_mut(&id) else {
+            return;
+        };
+        os.outstanding = os.outstanding.saturating_sub(1);
+        if os.outstanding == 0 && os.finished {
+            self.close(now, id);
+        }
+    }
+
+    /// Span to charge driver work to when no logical span is current
+    /// (defensive: every kernel submit path opens one).
+    fn auto_span(&mut self, now: SimTime) -> SpanId {
+        let scope = self.begin(now, SpanKind::Other, None);
+        self.current = scope.prev;
+        if let Some(os) = self.open.get_mut(&scope.id) {
+            os.finished = true;
+        }
+        scope.id
+    }
+
+    pub(crate) fn cache_access(&mut self, hits: u32, misses: u32) {
+        self.metrics.cache_hits += hits as u64;
+        self.metrics.cache_misses += misses as u64;
+        if let Some(os) = self.open.get_mut(&self.current) {
+            os.span.cache_hits += hits;
+            os.span.cache_misses += misses;
+        }
+    }
+
+    pub(crate) fn readahead(&mut self, window: u32, blocks: u32) {
+        self.metrics.ra_prefetches += 1;
+        self.metrics.ra_blocks += blocks as u64;
+        self.metrics.ra_window.observe(window as u64);
+        if let Some(os) = self.open.get_mut(&self.current) {
+            os.span.ra_window = os.span.ra_window.max(window);
+            os.span.ra_blocks += blocks;
+        }
+    }
+
+    pub(crate) fn writeback_blocks(&mut self, blocks: u64) {
+        self.metrics.writeback_blocks += blocks;
+    }
+
+    pub(crate) fn note_net_delay(&mut self, pid: u32, delay_us: u64) {
+        *self.pending_net_delay.entry(pid).or_insert(0) += delay_us;
+    }
+
+    pub(crate) fn disk_submit(&mut self, now: SimTime, token: u64) {
+        self.metrics.submits += 1;
+        let (span, retry) = match self.pre_bound.remove(&token) {
+            Some(s) => (s, true),
+            None => {
+                let mut cur = self.current;
+                if cur == NO_SPAN || !self.open.contains_key(&cur) {
+                    cur = self.auto_span(now);
+                }
+                (cur, false)
+            }
+        };
+        if let Some(os) = self.open.get_mut(&span) {
+            os.span.tokens += 1;
+            // Retry tokens ride on the originals' outstanding count: the
+            // failed originals stay pending until the retry succeeds.
+            if !retry {
+                os.outstanding += 1;
+            }
+        }
+        self.tokens.insert(
+            token,
+            TokenObs {
+                span,
+                retry,
+                submit_us: now,
+                dispatch_us: now,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn disk_dispatch(
+        &mut self,
+        now: SimTime,
+        tokens: &[u64],
+        sector: u64,
+        nsectors: u32,
+        op: Op,
+        origin: Origin,
+        queue_len: usize,
+    ) {
+        let bytes = nsectors as u64 * SECTOR_BYTES as u64;
+        self.metrics.records += 1;
+        self.metrics.bytes += bytes;
+        self.metrics.queue_depth.observe(queue_len as u64);
+        let mut first: Option<TokenObs> = None;
+        for (i, t) in tokens.iter().enumerate() {
+            let Some(tok) = self.tokens.get_mut(t) else {
+                continue;
+            };
+            let wait = now.saturating_sub(tok.submit_us);
+            tok.dispatch_us = now;
+            let tok = *tok;
+            if i == 0 {
+                first = Some(tok);
+            }
+            self.metrics.queue_wait_us.observe(wait);
+            if let Some(os) = self.open.get_mut(&tok.span) {
+                if tok.retry {
+                    os.span.retry_us += wait;
+                } else {
+                    os.span.queue_wait_us += wait;
+                }
+            }
+        }
+        // The merged physical command — and hence its trace record — is
+        // attributed to the first token's span.
+        let (span, submit_us, retry) = match first {
+            Some(t) => (t.span, t.submit_us, t.retry),
+            None => (NO_SPAN, now, false),
+        };
+        if let Some(os) = self.open.get_mut(&span) {
+            os.span.records += 1;
+            os.span.bytes += bytes;
+        }
+        let Some(&key) = tokens.first() else {
+            return;
+        };
+        self.phys_open.insert(
+            key,
+            PhysSpan {
+                node: self.node,
+                span,
+                sector,
+                nsectors,
+                op,
+                origin,
+                submit_us,
+                dispatch_us: now,
+                complete_us: now,
+                queue_depth: queue_len as u32,
+                retry,
+                failed: false,
+                truncated: false,
+            },
+        );
+    }
+
+    pub(crate) fn disk_complete(&mut self, now: SimTime, tokens: &[u64], failed: bool) {
+        if let Some(first) = tokens.first() {
+            if let Some(mut ph) = self.phys_open.remove(first) {
+                ph.complete_us = now;
+                ph.failed = failed;
+                self.metrics
+                    .service_us
+                    .observe(now.saturating_sub(ph.dispatch_us));
+                if failed {
+                    self.metrics.failed_cmds += 1;
+                }
+                self.phys.push(ph);
+            }
+        }
+        if failed {
+            // Charge the wasted attempt to each affected span; originals
+            // stay pending (the kernel will resubmit them under a retry
+            // token), while a failed retry token is dead — drop it.
+            for t in tokens {
+                let Some(tok) = self.tokens.get(t).copied() else {
+                    continue;
+                };
+                let service = now.saturating_sub(tok.dispatch_us);
+                if let Some(os) = self.open.get_mut(&tok.span) {
+                    os.span.retry_us += service;
+                }
+                if tok.retry {
+                    self.tokens.remove(t);
+                    self.retry_groups.remove(t);
+                }
+            }
+            return;
+        }
+        let mut direct = Vec::new();
+        let mut via_retry = Vec::new();
+        for t in tokens {
+            if let Some(originals) = self.retry_groups.remove(t) {
+                // The successful retry command: its service time is retry
+                // cost on the span; the originals complete through it.
+                if let Some(tok) = self.tokens.remove(t) {
+                    let service = now.saturating_sub(tok.dispatch_us);
+                    if let Some(os) = self.open.get_mut(&tok.span) {
+                        os.span.retry_us += service;
+                    }
+                }
+                via_retry.extend(originals);
+            } else {
+                direct.push(*t);
+            }
+        }
+        for t in direct {
+            if let Some(tok) = self.tokens.remove(&t) {
+                let service = now.saturating_sub(tok.dispatch_us);
+                if let Some(os) = self.open.get_mut(&tok.span) {
+                    os.span.service_us += service;
+                }
+                self.release(now, tok.span);
+            }
+        }
+        for t in via_retry {
+            // Time already accounted as retry cost; just drain the token.
+            if let Some(tok) = self.tokens.remove(&t) {
+                self.release(now, tok.span);
+            }
+        }
+    }
+
+    pub(crate) fn disk_retry(&mut self, new_token: u64, originals: &[u64], relocated: bool) {
+        self.metrics.retries += 1;
+        if relocated {
+            self.metrics.relocations += 1;
+        }
+        let mut spans: Vec<SpanId> = Vec::with_capacity(originals.len());
+        for t in originals {
+            if let Some(tok) = self.tokens.get(t) {
+                if !spans.contains(&tok.span) {
+                    spans.push(tok.span);
+                }
+            }
+        }
+        for &s in &spans {
+            if let Some(os) = self.open.get_mut(&s) {
+                os.span.retries += 1;
+                if relocated {
+                    os.span.relocations += 1;
+                }
+            }
+        }
+        let span = spans.first().copied().unwrap_or(NO_SPAN);
+        self.pre_bound.insert(new_token, span);
+        self.retry_groups.insert(new_token, originals.to_vec());
+    }
+
+    pub(crate) fn abort(&mut self, now: SimTime) {
+        let mut ids: Vec<SpanId> = self.open.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if let Some(os) = self.open.remove(&id) {
+                let mut span = os.span;
+                span.end_us = now;
+                span.truncated = true;
+                self.metrics.spans_truncated += 1;
+                self.closed.push(span);
+            }
+        }
+        let mut keys: Vec<u64> = self.phys_open.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            if let Some(mut ph) = self.phys_open.remove(&k) {
+                ph.complete_us = now;
+                ph.truncated = true;
+                self.phys.push(ph);
+            }
+        }
+        self.current = NO_SPAN;
+        self.tokens.clear();
+        self.pre_bound.clear();
+        self.retry_groups.clear();
+        self.pending_net_delay.clear();
+    }
+
+    /// Drain this node's spans and metrics into a report at end of run.
+    /// Anything still open is force-closed at `now` and flagged truncated.
+    pub fn collect_into(&mut self, now: SimTime, report: &mut ObsReport) {
+        self.abort(now);
+        let node = format!("node{:02}", self.node);
+        fold_metrics(&node, &self.metrics, &mut report.metrics);
+        report.unclosed += self.metrics.spans_truncated;
+        let mut spans = std::mem::take(&mut self.closed);
+        spans.sort_by_key(|s| (s.begin_us, s.id));
+        report.spans.extend(spans);
+        let mut phys = std::mem::take(&mut self.phys);
+        phys.sort_by_key(|p| (p.dispatch_us, p.sector));
+        report.phys.extend(phys);
+    }
+}
+
+/// Fold one node's typed metrics into the hierarchical registry under
+/// `node<NN>/...` scopes.
+fn fold_metrics(node: &str, m: &NodeMetrics, reg: &mut MetricsRegistry) {
+    let cache = reg.scope(&format!("{node}/cache"));
+    cache.counter("hits", m.cache_hits);
+    cache.counter("misses", m.cache_misses);
+    cache.counter("writeback_blocks", m.writeback_blocks);
+    let lookups = m.cache_hits + m.cache_misses;
+    if lookups > 0 {
+        cache.gauge("hit_ratio", m.cache_hits as f64 / lookups as f64);
+    }
+
+    let ra = reg.scope(&format!("{node}/readahead"));
+    ra.counter("prefetches", m.ra_prefetches);
+    ra.counter("prefetched_blocks", m.ra_blocks);
+    ra.hist("window_blocks", &m.ra_window);
+    let file_reads = m.ra_blocks + m.cache_misses;
+    if file_reads > 0 {
+        // Share of disk-read blocks brought in ahead of demand.
+        ra.gauge("prefetch_share", m.ra_blocks as f64 / file_reads as f64);
+    }
+
+    let disk = reg.scope(&format!("{node}/disk"));
+    disk.counter("submits", m.submits);
+    disk.counter("records", m.records);
+    disk.counter("bytes", m.bytes);
+    disk.hist("queue_depth", &m.queue_depth);
+    disk.hist("queue_wait_us", &m.queue_wait_us);
+    disk.hist("service_us", &m.service_us);
+
+    let faults = reg.scope(&format!("{node}/faults"));
+    faults.counter("failed_cmds", m.failed_cmds);
+    faults.counter("retries", m.retries);
+    faults.counter("relocations", m.relocations);
+
+    let spans = reg.scope(&format!("{node}/spans"));
+    spans.counter("opened", m.spans_opened);
+    spans.counter("closed", m.spans_closed);
+    spans.counter("truncated", m.spans_truncated);
+    spans.counter("net_delayed", m.net_delayed_spans);
+    spans.counter("net_delay_us", m.net_delay_us);
+    spans.hist("latency_us", &m.span_latency_us);
+}

@@ -1,0 +1,256 @@
+//! Run-level report and the two exporters: Chrome trace-event JSON
+//! (Perfetto-loadable) and `/proc`-style plain-text snapshots.
+
+use essio_stream::sketch::LogHistogram;
+use serde::{Serialize, Value};
+
+use crate::registry::MetricsRegistry;
+use crate::span::{NetEvent, PhysSpan, Span};
+
+/// Everything the obs plane collected over one run: closed request spans,
+/// physical disk commands, delayed PVM sends, and the merged metrics
+/// registry. Plain data — safe to move across threads and merge across
+/// campaign seeds.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// Cluster size the run used.
+    pub nodes: u8,
+    /// Virtual end time of the run.
+    pub duration_us: u64,
+    /// All request spans, per node in (begin, id) order.
+    pub spans: Vec<Span>,
+    /// All physical disk commands, per node in dispatch order.
+    pub phys: Vec<PhysSpan>,
+    /// PVM sends that were delayed by retransmit backoff.
+    pub net: Vec<NetEvent>,
+    /// Hierarchical metrics merged across the cluster.
+    pub metrics: MetricsRegistry,
+    /// Spans force-closed by a crash or the end of the run.
+    pub unclosed: u64,
+}
+
+/// Track ids within each node's process in the Chrome trace.
+const TID_DISK: u32 = 1;
+const TID_FAULTS: u32 = 2;
+const TID_NET: u32 = 3;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn s(v: impl Into<String>) -> Value {
+    Value::String(v.into())
+}
+
+fn i(v: u64) -> Value {
+    Value::Int(v as i128)
+}
+
+impl ObsReport {
+    /// Attach the cluster's delayed-send events and fold them into the
+    /// `net` metrics scope (called once by the experiment runner).
+    pub fn add_net_events(&mut self, events: Vec<NetEvent>, retransmits: u64) {
+        let mut backoff = LogHistogram::new();
+        let mut backoff_total = 0u64;
+        for e in &events {
+            backoff.observe(e.backoff_us);
+            backoff_total += e.backoff_us;
+        }
+        let net = self.metrics.scope("net");
+        net.counter("retransmit_frames", retransmits);
+        net.counter("delayed_sends", events.len() as u64);
+        net.counter("backoff_us", backoff_total);
+        if !events.is_empty() {
+            net.hist("send_backoff_us", &backoff);
+        }
+        self.net = events;
+    }
+
+    /// Render the whole run as Chrome trace-event JSON, loadable in
+    /// Perfetto (`ui.perfetto.dev`). One process per node; within it a
+    /// `disk` track of physical commands, a `faults` track of
+    /// failure/retry markers, a `net` track of delayed PVM sends, and
+    /// request spans as async begin/end pairs grouped by operation.
+    /// All timestamps are virtual microseconds.
+    pub fn chrome_trace(&self) -> String {
+        let mut events: Vec<Value> = Vec::with_capacity(2 * self.spans.len() + self.phys.len());
+        for node in 0..self.nodes {
+            let pid = node as u64;
+            events.push(obj(vec![
+                ("name", s("process_name")),
+                ("ph", s("M")),
+                ("pid", i(pid)),
+                ("args", obj(vec![("name", s(format!("node{node:02}")))])),
+            ]));
+            for (tid, name) in [(TID_DISK, "disk"), (TID_FAULTS, "faults"), (TID_NET, "net")] {
+                events.push(obj(vec![
+                    ("name", s("thread_name")),
+                    ("ph", s("M")),
+                    ("pid", i(pid)),
+                    ("tid", i(tid as u64)),
+                    ("args", obj(vec![("name", s(name))])),
+                ]));
+            }
+        }
+        for span in &self.spans {
+            let id = s(format!("0x{:x}", span.uid()));
+            let cat = if span.kind.is_kernel() {
+                "kernel"
+            } else {
+                "request"
+            };
+            let mut args = vec![
+                ("span", i(span.uid())),
+                ("pid", i(span.pid.map(|p| p as u64).unwrap_or(0))),
+                ("cache_hits", i(span.cache_hits as u64)),
+                ("cache_misses", i(span.cache_misses as u64)),
+                ("ra_window", i(span.ra_window as u64)),
+                ("ra_blocks", i(span.ra_blocks as u64)),
+                ("tokens", i(span.tokens as u64)),
+                ("records", i(span.records as u64)),
+                ("bytes", i(span.bytes)),
+                ("queue_wait_us", i(span.queue_wait_us)),
+                ("service_us", i(span.service_us)),
+                ("retry_us", i(span.retry_us)),
+                ("retries", i(span.retries as u64)),
+                ("relocations", i(span.relocations as u64)),
+                ("net_delay_us", i(span.net_delay_us)),
+            ];
+            if span.truncated {
+                args.push(("truncated", Value::Bool(true)));
+            }
+            events.push(obj(vec![
+                ("name", s(span.kind.label())),
+                ("cat", s(cat)),
+                ("ph", s("b")),
+                ("id", id.clone()),
+                ("pid", i(span.node as u64)),
+                ("tid", i(0)),
+                ("ts", i(span.begin_us)),
+                (
+                    "args",
+                    Value::Object(args.into_iter().map(|(k, v)| (k.into(), v)).collect()),
+                ),
+            ]));
+            events.push(obj(vec![
+                ("name", s(span.kind.label())),
+                ("cat", s(cat)),
+                ("ph", s("e")),
+                ("id", id),
+                ("pid", i(span.node as u64)),
+                ("tid", i(0)),
+                ("ts", i(span.end_us)),
+            ]));
+        }
+        for ph in &self.phys {
+            let op = format!("{:?}", ph.op).to_lowercase();
+            events.push(obj(vec![
+                ("name", s(format!("{op} {}@{}", ph.nsectors, ph.sector))),
+                ("cat", s("disk")),
+                ("ph", s("X")),
+                ("pid", i(ph.node as u64)),
+                ("tid", i(TID_DISK as u64)),
+                ("ts", i(ph.dispatch_us)),
+                ("dur", i(ph.complete_us.saturating_sub(ph.dispatch_us))),
+                (
+                    "args",
+                    obj(vec![
+                        ("sector", i(ph.sector)),
+                        ("nsectors", i(ph.nsectors as u64)),
+                        ("origin", s(format!("{:?}", ph.origin))),
+                        ("span", i(((ph.node as u64) << 48) | ph.span)),
+                        ("submit_us", i(ph.submit_us)),
+                        ("queue_depth", i(ph.queue_depth as u64)),
+                        ("retry", Value::Bool(ph.retry)),
+                        ("failed", Value::Bool(ph.failed)),
+                        ("truncated", Value::Bool(ph.truncated)),
+                    ]),
+                ),
+            ]));
+            if ph.failed || ph.retry {
+                events.push(obj(vec![
+                    ("name", s(if ph.failed { "media-fail" } else { "retry" })),
+                    ("cat", s("faults")),
+                    ("ph", s("i")),
+                    ("s", s("t")),
+                    ("pid", i(ph.node as u64)),
+                    ("tid", i(TID_FAULTS as u64)),
+                    ("ts", i(ph.dispatch_us)),
+                    (
+                        "args",
+                        obj(vec![
+                            ("sector", i(ph.sector)),
+                            ("span", i(((ph.node as u64) << 48) | ph.span)),
+                        ]),
+                    ),
+                ]));
+            }
+        }
+        for e in &self.net {
+            events.push(obj(vec![
+                ("name", s("retransmit")),
+                ("cat", s("net")),
+                ("ph", s("i")),
+                ("s", s("t")),
+                ("pid", i(e.from_node as u64)),
+                ("tid", i(TID_NET as u64)),
+                ("ts", i(e.at_us)),
+                (
+                    "args",
+                    obj(vec![
+                        ("from_pid", i(e.from_pid as u64)),
+                        ("to_pid", i(e.to_pid as u64)),
+                        ("attempts", i(e.attempts as u64)),
+                        ("backoff_us", i(e.backoff_us)),
+                    ]),
+                ),
+            ]));
+        }
+        let root = obj(vec![
+            ("traceEvents", Value::Array(events)),
+            ("displayTimeUnit", s("ms")),
+        ]);
+        serde_json::to_string(&root).expect("shim serialization is infallible")
+    }
+
+    /// `/proc`-style plain-text snapshot for one node, mirroring the
+    /// paper's proc-fs spooling of driver statistics.
+    pub fn proc_snapshot(&self, node: u8) -> String {
+        let prefix = format!("node{node:02}/");
+        let mut out = format!("=== /proc/essio/node{node:02} ===\n");
+        out.push_str(&self.metrics.render_text(&prefix));
+        out
+    }
+
+    /// `/proc`-style snapshot of every node plus the cluster-wide scopes.
+    pub fn proc_text(&self) -> String {
+        let mut out = String::new();
+        for node in 0..self.nodes {
+            out.push_str(&self.proc_snapshot(node));
+        }
+        out.push_str("=== /proc/essio/cluster ===\n");
+        let mut seen = std::collections::BTreeSet::new();
+        for path in self.metrics.scopes.keys() {
+            if !path.starts_with("node") && seen.insert(path.clone()) {
+                out.push_str(&self.metrics.render_text(path));
+            }
+        }
+        out
+    }
+}
+
+impl Serialize for ObsReport {
+    /// Compact summary (counts + full metrics); the span/phys lists are
+    /// exported through [`ObsReport::chrome_trace`] instead.
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("nodes", i(self.nodes as u64)),
+            ("duration_us", i(self.duration_us)),
+            ("spans", i(self.spans.len() as u64)),
+            ("phys_cmds", i(self.phys.len() as u64)),
+            ("delayed_sends", i(self.net.len() as u64)),
+            ("unclosed_spans", i(self.unclosed)),
+            ("metrics", self.metrics.to_value()),
+        ])
+    }
+}

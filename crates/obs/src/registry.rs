@@ -1,0 +1,200 @@
+//! Hierarchical metrics registry: counters, gauges, and log2 histograms
+//! under `scope/name` paths, mergeable across nodes and campaign seeds.
+
+use std::collections::BTreeMap;
+
+use essio_stream::sketch::{LogHistogram, LOG_BUCKETS};
+use serde::{Serialize, Value};
+
+/// An averaged gauge. Stored as (sum, count) so that merging registries
+/// from many seeds is associative and order-insensitive; the exported
+/// value is the mean across merged samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge {
+    /// Sum of samples merged in.
+    pub sum: f64,
+    /// Number of samples merged in.
+    pub n: u64,
+}
+
+impl Gauge {
+    /// Mean of the merged samples (0 when empty).
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+/// One scope's metrics (e.g. everything under `node03/disk`).
+#[derive(Debug, Clone, Default)]
+pub struct MetricScope {
+    /// Monotonic counters; merge adds.
+    pub counters: BTreeMap<String, u64>,
+    /// Averaged gauges; merge averages.
+    pub gauges: BTreeMap<String, Gauge>,
+    /// Log2 histograms; merge is exact bucket-wise addition.
+    pub hists: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricScope {
+    /// Add `v` to counter `name`.
+    pub fn counter(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Record one gauge sample for `name`.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        let g = self.gauges.entry(name.to_string()).or_default();
+        g.sum += v;
+        g.n += 1;
+    }
+
+    /// Merge `h` into histogram `name`.
+    pub fn hist(&mut self, name: &str, h: &LogHistogram) {
+        self.hists.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// Merge another scope's metrics into this one.
+    pub fn merge(&mut self, other: &MetricScope) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, g) in &other.gauges {
+            let mine = self.gauges.entry(k.clone()).or_default();
+            mine.sum += g.sum;
+            mine.n += g.n;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+/// The full registry: scopes keyed by path (`node00/cache`, `net`, ...),
+/// in deterministic (sorted) order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    /// Scope path → metrics.
+    pub scopes: BTreeMap<String, MetricScope>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scope at `path`, created on first touch.
+    pub fn scope(&mut self, path: &str) -> &mut MetricScope {
+        self.scopes.entry(path.to_string()).or_default()
+    }
+
+    /// Look up a counter by `scope/name` path (for tests and reports).
+    pub fn counter_value(&self, scope: &str, name: &str) -> u64 {
+        self.scopes
+            .get(scope)
+            .and_then(|s| s.counters.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// Sum a counter named `name` across all scopes whose path ends with
+    /// `/suffix` (e.g. every node's `cache` scope).
+    pub fn counter_sum(&self, suffix: &str, name: &str) -> u64 {
+        self.scopes
+            .iter()
+            .filter(|(path, _)| path.ends_with(suffix))
+            .filter_map(|(_, s)| s.counters.get(name))
+            .sum()
+    }
+
+    /// Merge another registry into this one (scope-wise). Associative and
+    /// commutative, so campaign seeds can merge in any order.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (path, scope) in &other.scopes {
+            self.scopes.entry(path.clone()).or_default().merge(scope);
+        }
+    }
+
+    /// Render as `/proc`-style plain text: one `scope/name value` line per
+    /// counter and gauge, one summary line per histogram.
+    pub fn render_text(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (path, scope) in &self.scopes {
+            if !path.starts_with(prefix) || scope.is_empty() {
+                continue;
+            }
+            for (k, v) in &scope.counters {
+                out.push_str(&format!("{path}/{k} {v}\n"));
+            }
+            for (k, g) in &scope.gauges {
+                out.push_str(&format!("{path}/{k} {:.4}\n", g.value()));
+            }
+            for (k, h) in &scope.hists {
+                out.push_str(&format!(
+                    "{path}/{k} total={} mean={:.1} p50={} p90={} p99={}\n",
+                    h.total,
+                    h.mean(),
+                    h.quantile_floor(0.5),
+                    h.quantile_floor(0.9),
+                    h.quantile_floor(0.99),
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn hist_value(h: &LogHistogram) -> Value {
+    let buckets: Vec<Value> = (0..LOG_BUCKETS)
+        .filter(|&i| h.buckets[i] != 0)
+        .map(|i| {
+            Value::Array(vec![
+                Value::Int(LogHistogram::bucket_floor(i) as i128),
+                Value::Int(h.buckets[i] as i128),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("total".into(), Value::Int(h.total as i128)),
+        ("mean".into(), Value::Float(h.mean())),
+        ("p50".into(), Value::Int(h.quantile_floor(0.5) as i128)),
+        ("p90".into(), Value::Int(h.quantile_floor(0.9) as i128)),
+        ("p99".into(), Value::Int(h.quantile_floor(0.99) as i128)),
+        ("buckets".into(), Value::Array(buckets)),
+    ])
+}
+
+impl Serialize for MetricScope {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        for (k, v) in &self.counters {
+            fields.push((k.clone(), Value::Int(*v as i128)));
+        }
+        for (k, g) in &self.gauges {
+            fields.push((k.clone(), Value::Float(g.value())));
+        }
+        for (k, h) in &self.hists {
+            fields.push((k.clone(), hist_value(h)));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Serialize for MetricsRegistry {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.scopes
+                .iter()
+                .filter(|(_, s)| !s.is_empty())
+                .map(|(path, s)| (path.clone(), s.to_value()))
+                .collect(),
+        )
+    }
+}

@@ -1,0 +1,198 @@
+//! Span and event record types produced by the collectors.
+
+use essio_trace::{Op, Origin};
+use serde::Serialize;
+
+use crate::SpanId;
+
+/// What kind of logical operation a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SpanKind {
+    /// `open()` — directory walk + inode metadata reads.
+    Open,
+    /// `read()`/`readv()` data path.
+    Read,
+    /// `write()` data path (appends recurse into this).
+    Write,
+    /// `fsync()` durability flush.
+    Fsync,
+    /// `sync()` whole-cache flush.
+    Sync,
+    /// A syslog line appended via the logging path.
+    Log,
+    /// Demand page-in of a text page (major fault).
+    PageIn,
+    /// Swap-in of an anonymous page.
+    SwapIn,
+    /// Swap-out batch evicting anonymous pages.
+    SwapOut,
+    /// Dirty-block write-back driven by cache pressure.
+    Writeback,
+    /// The update daemon's periodic dirty flush.
+    DaemonFlush,
+    /// Disk activity with no attributable logical parent.
+    Other,
+}
+
+impl SpanKind {
+    /// Short lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Open => "open",
+            SpanKind::Read => "read",
+            SpanKind::Write => "write",
+            SpanKind::Fsync => "fsync",
+            SpanKind::Sync => "sync",
+            SpanKind::Log => "syslog",
+            SpanKind::PageIn => "page-in",
+            SpanKind::SwapIn => "swap-in",
+            SpanKind::SwapOut => "swap-out",
+            SpanKind::Writeback => "writeback",
+            SpanKind::DaemonFlush => "update-flush",
+            SpanKind::Other => "other",
+        }
+    }
+
+    /// Whether the exporters file this span under the kernel/daemon track
+    /// rather than the per-process request track.
+    pub fn is_kernel(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Log | SpanKind::Writeback | SpanKind::DaemonFlush | SpanKind::Other
+        )
+    }
+}
+
+/// One closed request-lifecycle span, in virtual microseconds.
+///
+/// `end_us - begin_us` is the full lifetime: syscall entry to the last disk
+/// completion the request triggered (readahead tails included). The latency
+/// decomposition fields (`queue_wait_us`, `service_us`, `retry_us`) sum
+/// token-level components and can exceed the wall interval when a merged
+/// request carries several tokens.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Span {
+    /// Node-local span id (1-based; unique per node).
+    pub id: SpanId,
+    /// Node that produced the span.
+    pub node: u8,
+    /// Issuing process id, or `None` for kernel/daemon activity.
+    pub pid: Option<u32>,
+    /// Logical operation kind.
+    pub kind: SpanKind,
+    /// Virtual time the span opened.
+    pub begin_us: u64,
+    /// Virtual time the span closed.
+    pub end_us: u64,
+    /// Page-cache hits observed under this span.
+    pub cache_hits: u32,
+    /// Page-cache misses observed under this span.
+    pub cache_misses: u32,
+    /// Largest readahead window (blocks) in effect during the span.
+    pub ra_window: u32,
+    /// Blocks prefetched on behalf of this span.
+    pub ra_blocks: u32,
+    /// Disk tokens the span spawned.
+    pub tokens: u32,
+    /// Physical disk commands attributed to the span.
+    pub records: u32,
+    /// Bytes moved by those commands.
+    pub bytes: u64,
+    /// Submit→dispatch wait summed over the span's tokens.
+    pub queue_wait_us: u64,
+    /// Dispatch→complete service time summed over the span's tokens.
+    pub service_us: u64,
+    /// Time burned in failed attempts and their retries.
+    pub retry_us: u64,
+    /// Retry commands issued for this span's tokens.
+    pub retries: u32,
+    /// Spare-region relocations among those retries.
+    pub relocations: u32,
+    /// PVM retransmit backoff that delayed the issuing process just
+    /// before this span (charged to the first span after the delay).
+    pub net_delay_us: u64,
+    /// Set when the span was force-closed (node crash or end of run).
+    pub truncated: bool,
+}
+
+impl Span {
+    pub(crate) fn new(id: SpanId, node: u8, kind: SpanKind, pid: Option<u32>, now: u64) -> Self {
+        Span {
+            id,
+            node,
+            pid,
+            kind,
+            begin_us: now,
+            end_us: now,
+            cache_hits: 0,
+            cache_misses: 0,
+            ra_window: 0,
+            ra_blocks: 0,
+            tokens: 0,
+            records: 0,
+            bytes: 0,
+            queue_wait_us: 0,
+            service_us: 0,
+            retry_us: 0,
+            retries: 0,
+            relocations: 0,
+            net_delay_us: 0,
+            truncated: false,
+        }
+    }
+
+    /// Globally-unique id across the cluster (node in the high bits).
+    pub fn uid(&self) -> u64 {
+        ((self.node as u64) << 48) | self.id
+    }
+}
+
+/// One physical disk command as the driver serviced it — the obs-plane twin
+/// of a `TraceRecord`, tied back to the request span that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysSpan {
+    /// Node whose disk serviced the command.
+    pub node: u8,
+    /// Request span the command is attributed to (first token's span).
+    pub span: SpanId,
+    /// First sector addressed.
+    pub sector: u64,
+    /// Sectors transferred.
+    pub nsectors: u32,
+    /// Read or write.
+    pub op: Op,
+    /// Request origin as carried in the trace record.
+    pub origin: Origin,
+    /// Virtual time the first token entered the driver.
+    pub submit_us: u64,
+    /// Virtual time the driver started servicing.
+    pub dispatch_us: u64,
+    /// Virtual time the command completed.
+    pub complete_us: u64,
+    /// Queue depth left behind at dispatch (matches the trace record).
+    pub queue_depth: u32,
+    /// Whether this command was a retry of a failed one.
+    pub retry: bool,
+    /// Whether the fault oracle failed this command.
+    pub failed: bool,
+    /// Set when the command never completed (crash or end of run).
+    pub truncated: bool,
+}
+
+/// A delayed PVM send: retransmit backoff that pushed a message's delivery
+/// later, linking frame loss to the requests it delayed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetEvent {
+    /// Virtual time the send was issued.
+    pub at_us: u64,
+    /// Sending node.
+    pub from_node: u8,
+    /// Sending process id.
+    pub from_pid: u32,
+    /// Destination process id (cluster task numbering).
+    pub to_pid: u32,
+    /// Transmit attempts for the worst frame of the message.
+    pub attempts: u32,
+    /// Total backoff delay added before the message went out.
+    pub backoff_us: u64,
+}

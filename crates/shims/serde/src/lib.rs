@@ -122,6 +122,18 @@ macro_rules! impl_int {
 
 impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for i128 {
     fn to_value(&self) -> Value {
         Value::Int(*self)

@@ -8,7 +8,8 @@
 //! when they have no fraction or exponent, otherwise to `Value::Float`.
 //! Floats are rendered with Rust's shortest-roundtrip `{}` formatting.
 
-use serde::{DeError, Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{DeError, Deserialize, Serialize};
 
 /// Error type for both directions (serialization itself cannot fail in the
 /// shim, so in practice this reports parse/decode problems).

@@ -19,6 +19,7 @@ pub use essio_disk as disk;
 pub use essio_faults as faults;
 pub use essio_kernel as kernel;
 pub use essio_net as net;
+pub use essio_obs as obs;
 pub use essio_pfs as pfs;
 pub use essio_sim as sim;
 pub use essio_trace as trace;
