@@ -29,6 +29,9 @@
 //! reported in a Degradation section and the merged statistics are
 //! computed from whatever completed — a failed seed is never fatal to the
 //! campaign.
+//!
+//! Exit codes: `0` success, `2` I/O or argument error, `3` conformance
+//! failure (every seed died, so no merged statistics exist).
 
 use rayon::prelude::*;
 
@@ -164,7 +167,7 @@ fn write_obs(dir: &std::path::Path, name: &str, contents: &str) {
     let path = dir.join(name);
     if let Err(e) = std::fs::write(&path, contents) {
         eprintln!("campaign: cannot write {}: {e}", path.display());
-        std::process::exit(1);
+        std::process::exit(2);
     }
 }
 
@@ -176,7 +179,7 @@ fn export_obs(
 ) {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("campaign: cannot create {}: {e}", dir.display());
-        std::process::exit(1);
+        std::process::exit(2);
     }
     let mut merged = essio_obs::MetricsRegistry::new();
     let mut merged_seeds = 0u64;
@@ -201,13 +204,13 @@ fn export_obs(
         };
         let json = serde_json::to_string_pretty(&meta).unwrap_or_else(|e| {
             eprintln!("campaign: seed {seed} metadata failed to serialize: {e}");
-            std::process::exit(1);
+            std::process::exit(2);
         });
         write_obs(dir, &format!("seed-{seed}.json"), &json);
     }
     let merged_json = serde_json::to_string_pretty(&merged).unwrap_or_else(|e| {
         eprintln!("campaign: merged metrics failed to serialize: {e}");
-        std::process::exit(1);
+        std::process::exit(2);
     });
     write_obs(dir, "merged.json", &merged_json);
     write_obs(dir, "merged.proc.txt", &merged.render_text(""));
@@ -275,7 +278,9 @@ fn main() {
         if !failed.is_empty() {
             println!("failed seeds: {failed:?}");
         }
-        return;
+        // No merged statistics exist, so the campaign's contract was not
+        // met: conformance exit, not an I/O one.
+        std::process::exit(3);
     }
 
     if let Some(dir) = &args.obs_dir {

@@ -7,6 +7,9 @@
 //! and writes `trace.json` (Chrome trace-event JSON for Perfetto),
 //! `proc.txt` (the `/proc`-style counter snapshot) and `meta.json` (perf
 //! counters + metrics registry) into `DIR`.
+//!
+//! Exit codes: `0` clean run, `2` I/O or argument error, `3` the run
+//! completed but a simulated process exited unclean.
 
 use std::path::{Path, PathBuf};
 
@@ -14,7 +17,7 @@ use essio::prelude::*;
 
 fn die(msg: String) -> ! {
     eprintln!("experiment: {msg}");
-    std::process::exit(1);
+    std::process::exit(2);
 }
 
 fn write_file(path: &Path, contents: &str) {
@@ -108,5 +111,9 @@ fn main() {
     } else {
         println!("{}", r.table1_row());
         println!("{}", r.summary.report(&which));
+    }
+    if !r.all_clean() {
+        eprintln!("experiment: unclean process exits — conformance failure");
+        std::process::exit(3);
     }
 }

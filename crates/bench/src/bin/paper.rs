@@ -2,6 +2,9 @@
 //! `target/paper/` and printing the terminal plots.
 //!
 //! Usage: `paper [--full]` (quick 2-node scale by default).
+//!
+//! Exit codes: `0` success, `2` I/O or argument error, `3` the fitted
+//! workload model failed its own validation (conformance failure).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -15,7 +18,7 @@ use essio_bench::Cli;
 fn write_file(path: &Path, contents: &str) {
     if let Err(e) = fs::write(path, contents) {
         eprintln!("paper: cannot write {}: {e}", path.display());
-        std::process::exit(1);
+        std::process::exit(2);
     }
 }
 
@@ -24,7 +27,7 @@ fn main() {
     let out_dir = PathBuf::from("target/paper");
     if let Err(e) = fs::create_dir_all(&out_dir) {
         eprintln!("paper: cannot create {}: {e}", out_dir.display());
-        std::process::exit(1);
+        std::process::exit(2);
     }
 
     let baseline = cli.run(ExperimentKind::Baseline);
@@ -86,4 +89,8 @@ fn main() {
     write_file(&out_dir.join("workload_model.json"), &model.to_json());
 
     println!("TSV data written to {}", out_dir.display());
+    if !v.acceptable() {
+        eprintln!("paper: workload model failed validation — conformance failure");
+        std::process::exit(3);
+    }
 }

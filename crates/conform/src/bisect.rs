@@ -1,0 +1,334 @@
+//! Divergence bisection: from "hash mismatch" to "record #N changed".
+//!
+//! Two encoded traces that hash differently are replayed through
+//! [`essio_stream::replay_prefix`] (bounded-memory chunked decode, either
+//! wire format) into a running [`TraceHasher`]. Because FNV-1a over the
+//! canonical record bytes is a prefix hash, "the first `n` records agree"
+//! is a monotone predicate in `n` — so a binary search over the prefix
+//! length finds the longest common prefix in `O(N log N)` decoded records
+//! without ever materializing either trace. The report decodes the first
+//! divergent record on both sides: its virtual time, sector, operation,
+//! and queue depth, plus the node whose request stream moved.
+//!
+//! Corruption is handled, not assumed away: a byte flip that breaks
+//! decoding (bad op, truncation, corrupt columnar frame) bounds that
+//! side's readable prefix, and the search proceeds over what is readable.
+
+use std::io::Cursor;
+
+use serde::Serialize;
+
+use essio_stream::replay_prefix;
+use essio_trace::{RecordSink, TraceRecord};
+
+use crate::fingerprint::{hex64, TraceHasher};
+
+/// A decoded record, flattened for reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RecordView {
+    /// Record index in the trace (0-based).
+    pub index: u64,
+    /// Virtual completion time, µs.
+    pub time_us: u64,
+    /// Starting sector.
+    pub sector: u32,
+    /// Sectors transferred.
+    pub nsectors: u16,
+    /// Requests pending in the device queue when this one completed.
+    pub queue: u16,
+    /// Node whose disk this record came from.
+    pub node: u8,
+    /// `"R"` or `"W"`.
+    pub rw: String,
+    /// Request origin (ground-truth activity label).
+    pub origin: String,
+}
+
+impl RecordView {
+    fn of(index: u64, r: &TraceRecord) -> Self {
+        Self {
+            index,
+            time_us: r.ts,
+            sector: r.sector,
+            nsectors: r.nsectors,
+            queue: r.pending,
+            node: r.node,
+            rw: match r.op {
+                essio_trace::Op::Read => "R".to_string(),
+                essio_trace::Op::Write => "W".to_string(),
+            },
+            origin: format!("{:?}", r.origin),
+        }
+    }
+}
+
+/// The result of bisecting two differing traces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Divergence {
+    /// First divergent record index (0-based). Every record before it is
+    /// byte-identical on both sides.
+    pub index: u64,
+    /// The golden side's record at `index`; `None` when the golden trace
+    /// ends (or stops being decodable) before it.
+    pub golden: Option<RecordView>,
+    /// The current side's record at `index`; `None` symmetrically.
+    pub current: Option<RecordView>,
+    /// Node responsible for the divergence (from whichever side has a
+    /// record at `index`, preferring the current side).
+    pub node: Option<u8>,
+    /// Readable records on the golden side.
+    pub golden_records: u64,
+    /// Readable records on the current side.
+    pub current_records: u64,
+    /// Running hash over the common prefix, hex (sanity anchor: equal on
+    /// both sides by construction).
+    pub common_prefix_hash: String,
+    /// Decode errors hit on either side, if any.
+    pub notes: Vec<String>,
+}
+
+impl Divergence {
+    /// One-paragraph human rendering for logs and CI artifacts.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "first divergent record: #{} (common prefix {} records, hash {})\n",
+            self.index, self.index, self.common_prefix_hash
+        );
+        let side = |v: &Option<RecordView>| match v {
+            Some(r) => format!(
+                "t={}µs sector={} nsectors={} {} queue={} node={} origin={}",
+                r.time_us, r.sector, r.nsectors, r.rw, r.queue, r.node, r.origin
+            ),
+            None => "<no record: trace ends here>".to_string(),
+        };
+        let _ = writeln!(s, "  golden : {}", side(&self.golden));
+        let _ = writeln!(s, "  current: {}", side(&self.current));
+        let _ = writeln!(
+            s,
+            "  responsible node: {} ({} vs {} readable records)",
+            self.node.map_or("?".into(), |n| n.to_string()),
+            self.golden_records,
+            self.current_records
+        );
+        for n in &self.notes {
+            let _ = writeln!(s, "  note: {n}");
+        }
+        s
+    }
+}
+
+/// Chunk size for full-stream scans (error-free fast path).
+const SCAN_CHUNK: usize = 4096;
+
+/// Scan one side: readable record count, full-prefix hash, decode error.
+fn scan(bytes: &[u8]) -> (u64, u64, Option<String>) {
+    let mut h = TraceHasher::new();
+    match replay_prefix(Cursor::new(bytes), SCAN_CHUNK, u64::MAX, &mut h) {
+        Ok(n) => (n, h.value(), None),
+        Err(e) => {
+            // Re-scan one record at a time for the exact readable prefix
+            // (a failed chunk discards its partial records).
+            let mut h = TraceHasher::new();
+            let err = replay_prefix(Cursor::new(bytes), 1, u64::MAX, &mut h)
+                .err()
+                .map_or_else(|| e.to_string(), |e| e.to_string());
+            (h.records(), h.value(), Some(err))
+        }
+    }
+}
+
+/// Hash of the first `n` records. `n` must be within the readable prefix;
+/// chunk size 1 guarantees the decoder never touches bytes past record
+/// `n-1` in the fixed format (columnar frames decode whole, so a readable
+/// count from [`scan`] is already frame-closed).
+fn prefix_hash(bytes: &[u8], n: u64) -> u64 {
+    let mut h = TraceHasher::new();
+    let replayed = replay_prefix(Cursor::new(bytes), 1, n, &mut h)
+        .expect("prefix within readable range must replay");
+    debug_assert_eq!(replayed, n);
+    h.value()
+}
+
+/// Keep only the latest record seen (bounded-memory record extraction).
+struct KeepLast {
+    seen: u64,
+    last: Option<TraceRecord>,
+}
+
+impl RecordSink for KeepLast {
+    fn observe(&mut self, rec: &TraceRecord) {
+        self.seen += 1;
+        self.last = Some(*rec);
+    }
+}
+
+/// Decode record `index` from an encoded trace, if it exists and decodes.
+fn record_at(bytes: &[u8], index: u64) -> Option<TraceRecord> {
+    let mut sink = KeepLast {
+        seen: 0,
+        last: None,
+    };
+    match replay_prefix(Cursor::new(bytes), 1, index + 1, &mut sink) {
+        Ok(n) if n == index + 1 => sink.last,
+        _ => None,
+    }
+}
+
+/// Bisect two encoded traces (either wire format, independently chosen per
+/// side) to their first divergent record. Returns `None` when the traces
+/// decode to identical record sequences.
+pub fn bisect(golden_bytes: &[u8], current_bytes: &[u8]) -> Option<Divergence> {
+    let (g_n, g_hash, g_err) = scan(golden_bytes);
+    let (c_n, c_hash, c_err) = scan(current_bytes);
+    if g_n == c_n && g_hash == c_hash && g_err.is_none() && c_err.is_none() {
+        return None;
+    }
+
+    // Largest `lo` with equal prefixes; invariant: prefixes of length `lo`
+    // agree, prefixes of length `hi` (if hi ≤ min) are known or suspected
+    // to disagree.
+    let min = g_n.min(c_n);
+    let (mut lo, mut hi) = (0u64, min);
+    // Whole-common-range check first: if all `min` records agree the
+    // divergence is purely the length difference.
+    if min > 0 && prefix_hash(golden_bytes, min) == prefix_hash(current_bytes, min) {
+        lo = min;
+    } else {
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if prefix_hash(golden_bytes, mid) == prefix_hash(current_bytes, mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // hi is now the shortest differing prefix length (or lo == min).
+    }
+
+    let index = lo;
+    let golden = record_at(golden_bytes, index).map(|r| RecordView::of(index, &r));
+    let current = record_at(current_bytes, index).map(|r| RecordView::of(index, &r));
+    let node = current.as_ref().or(golden.as_ref()).map(|r| r.node);
+    let mut notes = Vec::new();
+    if let Some(e) = g_err {
+        notes.push(format!("golden trace decode error after record {g_n}: {e}"));
+    }
+    if let Some(e) = c_err {
+        notes.push(format!(
+            "current trace decode error after record {c_n}: {e}"
+        ));
+    }
+    Some(Divergence {
+        index,
+        golden,
+        current,
+        node,
+        golden_records: g_n,
+        current_records: c_n,
+        common_prefix_hash: hex64(if index == 0 {
+            crate::hash::Fnv64::new().value()
+        } else {
+            prefix_hash(golden_bytes, index)
+        }),
+        notes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essio_trace::codec::{canonical_bytes, encode_columnar, MAGIC, RECORD_BYTES};
+    use essio_trace::{Op, Origin};
+
+    fn recs(n: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord {
+                ts: i * 100,
+                sector: (i as u32 * 31) % 500_000,
+                nsectors: 2 + (i % 3) as u16 * 2,
+                pending: (i % 5) as u16,
+                node: (i % 2) as u8,
+                op: if i % 4 == 0 { Op::Read } else { Op::Write },
+                origin: Origin::FileData,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let r = recs(500);
+        let fixed = canonical_bytes(&r);
+        let col = encode_columnar(&r);
+        assert_eq!(bisect(&fixed, &fixed), None);
+        // Cross-format: same records, different wire bytes — still equal.
+        assert_eq!(bisect(&fixed, &col), None);
+    }
+
+    #[test]
+    fn flipped_field_is_localized_exactly() {
+        let r = recs(1000);
+        let golden = canonical_bytes(&r);
+        let mut r2 = r.clone();
+        r2[437].sector ^= 1;
+        let current = canonical_bytes(&r2);
+        let d = bisect(&golden, &current).expect("must diverge");
+        assert_eq!(d.index, 437);
+        assert_eq!(d.node, Some(r[437].node));
+        let (g, c) = (d.golden.unwrap(), d.current.unwrap());
+        assert_eq!(g.time_us, r[437].ts);
+        assert_eq!(c.sector, r[437].sector ^ 1);
+        assert_eq!(g.rw, if r[437].op == Op::Read { "R" } else { "W" });
+    }
+
+    #[test]
+    fn single_byte_flip_in_encoded_stream_is_localized() {
+        let r = recs(300);
+        let golden = canonical_bytes(&r).to_vec();
+        let mut current = golden.clone();
+        // Flip one bit of record 123's timestamp.
+        current[MAGIC.len() + 123 * RECORD_BYTES] ^= 0x01;
+        let d = bisect(&golden, &current).expect("must diverge");
+        assert_eq!(d.index, 123);
+        assert!(d.notes.is_empty());
+        assert!(d.render().contains("record: #123"));
+    }
+
+    #[test]
+    fn truncation_diverges_at_the_cut() {
+        let r = recs(200);
+        let golden = canonical_bytes(&r);
+        let current = canonical_bytes(&r[..150]);
+        let d = bisect(&golden, &current).expect("must diverge");
+        assert_eq!(d.index, 150);
+        assert!(d.golden.is_some());
+        assert_eq!(d.current, None);
+        assert_eq!(d.golden_records, 200);
+        assert_eq!(d.current_records, 150);
+    }
+
+    #[test]
+    fn corrupting_op_byte_bounds_the_readable_prefix() {
+        let r = recs(100);
+        let golden = canonical_bytes(&r).to_vec();
+        let mut current = golden.clone();
+        // Invalid op value at record 60 → decode error there.
+        current[MAGIC.len() + 60 * RECORD_BYTES + 17] = 9;
+        let d = bisect(&golden, &current).expect("must diverge");
+        assert_eq!(d.index, 60);
+        assert_eq!(d.current, None, "record 60 is unreadable");
+        assert!(d.golden.is_some());
+        assert!(d.notes.iter().any(|n| n.contains("decode error")), "{d:?}");
+    }
+
+    #[test]
+    fn cross_format_divergence_still_localizes() {
+        let r = recs(800);
+        let golden = encode_columnar(&r); // golden stored columnar on disk
+        let mut r2 = r.clone();
+        r2[700].ts += 1;
+        let current = canonical_bytes(&r2);
+        let d = bisect(&golden, &current).expect("must diverge");
+        assert_eq!(d.index, 700);
+    }
+}

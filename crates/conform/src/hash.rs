@@ -1,0 +1,76 @@
+//! The 64-bit FNV-1a hash fingerprints are built on.
+//!
+//! FNV-1a is chosen deliberately over anything fancier: it is a pure
+//! byte-fold, so the hash of a record prefix is a *running state* — feeding
+//! one more record's canonical bytes advances it. That property is what
+//! makes prefix-hash checkpoints and divergence bisection cheap: no
+//! re-hashing from scratch, and any prefix hash can be compared against a
+//! stored checkpoint directly.
+
+/// Incremental FNV-1a (64-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self(OFFSET)
+    }
+
+    /// Fold bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The current hash value. The state is a running hash, so this can be
+    /// sampled at any prefix and folding can continue afterwards.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot convenience.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Self::new();
+        h.write(bytes);
+        h.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(Fnv64::hash(b""), 0xcbf29ce484222325);
+        assert_eq!(Fnv64::hash(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(Fnv64::hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn running_state_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        let prefix = h.value();
+        assert_eq!(prefix, Fnv64::hash(b"foo"));
+        h.write(b"bar");
+        assert_eq!(h.value(), Fnv64::hash(b"foobar"));
+    }
+}

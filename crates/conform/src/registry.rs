@@ -1,0 +1,280 @@
+//! The committed golden-fingerprint registry (`conform/golden.json`).
+//!
+//! The registry is the source of truth CI diffs against. It is written by
+//! `conform --bless` and is deliberately boring: cells sorted by id,
+//! pretty-printed JSON, trailing newline — two consecutive blesses of the
+//! same tree produce byte-identical files, so a bless commit is reviewable
+//! as a pure data diff.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::{CellRun, Fingerprint, CHECKPOINT_EVERY};
+
+/// Registry format version; bump when the fingerprint definition changes
+/// (which invalidates every committed hash).
+pub const FORMAT: u64 = 1;
+
+/// One cell's committed fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenCell {
+    /// Cell identifier ([`crate::matrix::CellSpec::id`]).
+    pub id: String,
+    /// Equivalence group ([`crate::matrix::CellSpec::group_id`]).
+    pub group: String,
+    /// The fingerprint bundle.
+    pub fingerprint: Fingerprint,
+}
+
+/// The whole committed registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenRegistry {
+    /// Fingerprint format version ([`FORMAT`]).
+    pub format: u64,
+    /// Matrix preset the registry was blessed from.
+    pub matrix: String,
+    /// Cells, sorted by id.
+    pub cells: Vec<GoldenCell>,
+}
+
+/// How a fresh run disagrees with the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DiffKind {
+    /// Cell ran but has no golden entry (matrix grew; bless to adopt).
+    MissingGolden,
+    /// Golden entry has no matching cell in the run (matrix shrank).
+    StaleGolden,
+    /// Canonical trace bytes hash differently.
+    TraceMismatch,
+    /// Canonical run JSON hashes differently (trace may agree).
+    SummaryMismatch,
+    /// A deterministic pin moved (record/event count or duration).
+    PinMismatch,
+}
+
+/// One disagreement between a run and the registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CellDiff {
+    /// Cell id the disagreement is about.
+    pub id: String,
+    /// What kind of disagreement.
+    pub kind: DiffKind,
+    /// Golden vs observed, human-readable.
+    pub detail: String,
+}
+
+impl GoldenRegistry {
+    /// Build a registry from a set of cell runs (a bless).
+    pub fn from_runs(matrix: impl Into<String>, runs: &[CellRun]) -> Self {
+        let mut cells: Vec<GoldenCell> = runs
+            .iter()
+            .map(|r| GoldenCell {
+                id: r.spec.id(),
+                group: r.spec.group_id(),
+                fingerprint: r.fingerprint.clone(),
+            })
+            .collect();
+        cells.sort_by(|a, b| a.id.cmp(&b.id));
+        Self {
+            format: FORMAT,
+            matrix: matrix.into(),
+            cells,
+        }
+    }
+
+    /// Look up one cell's golden fingerprint.
+    pub fn get(&self, id: &str) -> Option<&GoldenCell> {
+        self.cells.iter().find(|c| c.id == id)
+    }
+
+    /// The canonical serialized form `--bless` writes: pretty JSON with a
+    /// trailing newline, cells in sorted order.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("registry serialization");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a registry back from [`GoldenRegistry::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let reg: GoldenRegistry = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if reg.format != FORMAT {
+            return Err(format!(
+                "registry format {} but this build expects {FORMAT}; re-bless",
+                reg.format
+            ));
+        }
+        Ok(reg)
+    }
+
+    /// Write the registry to disk in canonical form.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load a registry from disk.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+
+    /// Diff a fresh run of the matrix against this registry. Empty result =
+    /// conformant. Order: run order first, then stale golden entries.
+    pub fn diff(&self, runs: &[CellRun]) -> Vec<CellDiff> {
+        let mut out = Vec::new();
+        for run in runs {
+            let id = run.spec.id();
+            let Some(golden) = self.get(&id) else {
+                out.push(CellDiff {
+                    id,
+                    kind: DiffKind::MissingGolden,
+                    detail: "cell has no golden fingerprint (run --bless to adopt it)".into(),
+                });
+                continue;
+            };
+            out.extend(diff_cell(&id, &golden.fingerprint, &run.fingerprint));
+        }
+        for golden in &self.cells {
+            if !runs.iter().any(|r| r.spec.id() == golden.id) {
+                out.push(CellDiff {
+                    id: golden.id.clone(),
+                    kind: DiffKind::StaleGolden,
+                    detail: "golden entry not covered by this matrix run".into(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Compare one cell's golden and observed fingerprints.
+fn diff_cell(id: &str, golden: &Fingerprint, seen: &Fingerprint) -> Vec<CellDiff> {
+    let mut out = Vec::new();
+    if golden.records != seen.records
+        || golden.events != seen.events
+        || golden.duration_us != seen.duration_us
+    {
+        out.push(CellDiff {
+            id: id.to_string(),
+            kind: DiffKind::PinMismatch,
+            detail: format!(
+                "records {} → {}, events {} → {}, duration {}µs → {}µs",
+                golden.records,
+                seen.records,
+                golden.events,
+                seen.events,
+                golden.duration_us,
+                seen.duration_us
+            ),
+        });
+    }
+    if golden.trace_hash != seen.trace_hash {
+        let window = golden
+            .first_checkpoint_mismatch(seen)
+            .map(|i| {
+                format!(
+                    "; first bad checkpoint #{i} bounds the divergence to records ({}, {}]",
+                    i as u64 * CHECKPOINT_EVERY,
+                    (i as u64 + 1) * CHECKPOINT_EVERY
+                )
+            })
+            .unwrap_or_default();
+        out.push(CellDiff {
+            id: id.to_string(),
+            kind: DiffKind::TraceMismatch,
+            detail: format!(
+                "trace hash {} → {}{window}",
+                golden.trace_hash, seen.trace_hash
+            ),
+        });
+    }
+    if golden.summary_hash != seen.summary_hash {
+        out.push(CellDiff {
+            id: id.to_string(),
+            kind: DiffKind::SummaryMismatch,
+            detail: format!(
+                "summary hash {} → {}",
+                golden.summary_hash, seen.summary_hash
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::CellSpec;
+    use essio::prelude::ExperimentKind;
+
+    fn fake_run(seed: u64, salt: u8) -> CellRun {
+        CellRun {
+            spec: CellSpec::plain(ExperimentKind::Nbody, seed),
+            fingerprint: Fingerprint {
+                trace_hash: format!("{:016x}", 0x1000 + salt as u64),
+                summary_hash: format!("{:016x}", 0x2000 + salt as u64),
+                records: 10,
+                events: 20,
+                duration_us: 30,
+                checkpoints: vec![],
+            },
+            summary_json: "{}".into(),
+            violations: vec![],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_canonical() {
+        let reg = GoldenRegistry::from_runs("ci", &[fake_run(2, 0), fake_run(1, 1)]);
+        // Sorted by id regardless of run order.
+        assert!(reg.cells[0].id < reg.cells[1].id);
+        let json = reg.to_json();
+        assert!(json.ends_with('\n'));
+        let back = GoldenRegistry::from_json(&json).unwrap();
+        assert_eq!(back, reg);
+        assert_eq!(back.to_json(), json, "re-serialization is byte-stable");
+    }
+
+    #[test]
+    fn wrong_format_is_rejected() {
+        let mut reg = GoldenRegistry::from_runs("ci", &[fake_run(1, 0)]);
+        reg.format = 999;
+        let err = GoldenRegistry::from_json(&reg.to_json()).unwrap_err();
+        assert!(err.contains("re-bless"), "{err}");
+    }
+
+    #[test]
+    fn diff_classifies_each_drift() {
+        let clean = fake_run(1, 0);
+        let reg = GoldenRegistry::from_runs("ci", std::slice::from_ref(&clean));
+        assert!(reg.diff(std::slice::from_ref(&clean)).is_empty());
+
+        let mut moved = clean.clone();
+        moved.fingerprint.trace_hash = "ffffffffffffffff".into();
+        let d = reg.diff(&[moved]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, DiffKind::TraceMismatch);
+
+        let mut pins = clean.clone();
+        pins.fingerprint.records = 11;
+        let d = reg.diff(&[pins]);
+        assert!(d.iter().any(|x| x.kind == DiffKind::PinMismatch));
+
+        let fresh = fake_run(9, 0);
+        let d = reg.diff(&[clean, fresh]);
+        assert!(d.iter().any(|x| x.kind == DiffKind::MissingGolden));
+
+        let d = reg.diff(&[]);
+        assert!(d.iter().any(|x| x.kind == DiffKind::StaleGolden));
+    }
+}

@@ -1,0 +1,248 @@
+//! Paper-shape invariants, checked numerically.
+//!
+//! Hashes catch *any* change; these catch the ones that matter to the
+//! paper. A refactor that legitimately moves every hash (say, a new disk
+//! seek model) still has to land inside these envelopes, or the run no
+//! longer reproduces the study: Table 1's read/write mixes, the
+//! 1 KB / 4 KB / ≥16 KB size taxonomy of §5, Figure 7's 80/20 spatial
+//! locality, and Figure 8's syslog/swap hot spots. Checks carry tolerances
+//! — a float moving within its envelope is not drift — and only apply to
+//! fault-free cells (a crashed node is *supposed* to bend the shapes).
+
+use serde::Serialize;
+
+use essio::prelude::ExperimentKind;
+use essio_trace::analysis::{SizeClass, TraceSummary};
+
+/// One failed shape check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ShapeViolation {
+    /// Stable check identifier (e.g. `baseline-write-only`).
+    pub check: String,
+    /// What was measured vs what the paper requires.
+    pub detail: String,
+}
+
+/// Boundary sectors of the regions Figure 8's hot spots live in.
+const LOG_REGION: (u32, u32) = (44_000, 47_000);
+/// The swap area occupies the band below sector 400,000.
+const SWAP_BAND_START: u32 = 300_000;
+
+/// Check every paper-shape invariant that applies to `kind` against a
+/// run's summary. Empty result = conformant.
+pub fn check_shapes(kind: ExperimentKind, s: &TraceSummary) -> Vec<ShapeViolation> {
+    let mut v = Vec::new();
+    let mut check = |ok: bool, check: &str, detail: String| {
+        if !ok {
+            v.push(ShapeViolation {
+                check: check.to_string(),
+                detail,
+            });
+        }
+    };
+
+    let frac = |c: SizeClass| s.sizes.fraction(c);
+    let count = |c: SizeClass| s.sizes.count(c);
+    let mode = s.sizes.histogram.mode();
+    let read_pct = s.rw.read_pct();
+
+    check(
+        s.rw.total > 0,
+        "trace-nonempty",
+        "no I/O requests recorded".into(),
+    );
+
+    match kind {
+        ExperimentKind::Baseline => {
+            // §4.1 + Table 1: an idle Beowulf writes and never reads.
+            check(
+                s.rw.reads == 0,
+                "baseline-write-only",
+                format!("{} reads observed, paper reports 100% writes", s.rw.reads),
+            );
+            check(
+                mode == Some(1024),
+                "baseline-1k-mode",
+                format!("request-size mode {mode:?}, paper reports 1KB"),
+            );
+            check(
+                count(SizeClass::B2K) > 0,
+                "baseline-2k-multiples",
+                "no small multiples of 1KB requests".into(),
+            );
+        }
+        ExperimentKind::Ppm => {
+            // §4.2: 1KB block I/O prevalent; paging brief (startup only).
+            check(
+                frac(SizeClass::B1K) > 0.4,
+                "ppm-1k-prevalent",
+                format!("1K fraction {:.3} ≤ 0.4", frac(SizeClass::B1K)),
+            );
+            check(
+                count(SizeClass::Page4K) > 0 && count(SizeClass::Page4K) < count(SizeClass::B1K),
+                "ppm-brief-paging",
+                format!(
+                    "4K pages {} vs 1K blocks {} (paging must exist but stay below block I/O)",
+                    count(SizeClass::Page4K),
+                    count(SizeClass::B1K)
+                ),
+            );
+            check(
+                read_pct < 35.0,
+                "ppm-write-dominated",
+                format!("read share {read_pct:.1}% ≥ 35% (Table 1: ≈4%)"),
+            );
+        }
+        ExperimentKind::Wavelet => {
+            // §4.2: heavy paging and streaming reads that grow past 8KB.
+            check(
+                count(SizeClass::Page4K) > 100,
+                "wavelet-pages-heavily",
+                format!("only {} 4K page transfers", count(SizeClass::Page4K)),
+            );
+            check(
+                read_pct > 30.0,
+                "wavelet-read-heavy",
+                format!("read share {read_pct:.1}% ≤ 30% (Table 1: ≈49%)"),
+            );
+            let big = count(SizeClass::To8K) + count(SizeClass::To16K) + count(SizeClass::Over16K);
+            check(
+                big > 0,
+                "wavelet-streaming-sizes",
+                "no transfers above 4KB; read-ahead never grew".into(),
+            );
+        }
+        ExperimentKind::Nbody => {
+            // Figure 4: 1KB mode with a visible 2KB population.
+            check(
+                mode == Some(1024),
+                "nbody-1k-mode",
+                format!("request-size mode {mode:?}, paper reports 1KB"),
+            );
+            check(
+                frac(SizeClass::B2K) > 0.0,
+                "nbody-2k-population",
+                "no 2KB merged-block requests".into(),
+            );
+            check(
+                read_pct < 35.0,
+                "nbody-write-dominated",
+                format!("read share {read_pct:.1}% ≥ 35% (Table 1: ≈13%)"),
+            );
+        }
+        ExperimentKind::Combined => {
+            // §4.3: transfers boosted past 16KB, 1KB maintained, paging up.
+            check(
+                count(SizeClass::Over16K) > 0,
+                "combined-boosted-transfers",
+                "no >16KB transfers under the combined load".into(),
+            );
+            check(
+                count(SizeClass::B1K) > 0,
+                "combined-1k-maintained",
+                "1KB requests disappeared".into(),
+            );
+            check(
+                count(SizeClass::Page4K) > 100,
+                "combined-heavy-paging",
+                format!("only {} 4K page transfers", count(SizeClass::Page4K)),
+            );
+            // §5: "almost follows the [80/20] rule".
+            check(
+                s.spatial.is_pareto_like(0.7),
+                "combined-top-band-share",
+                format!(
+                    "busiest 20% of bands carry {:.3} < 0.7 of requests",
+                    s.spatial.top20_fraction
+                ),
+            );
+            check(
+                s.spatial.gini > 0.5,
+                "combined-gini",
+                format!("gini {:.3} ≤ 0.5", s.spatial.gini),
+            );
+            // Figure 8: hottest sector is the syslog block group ≈45,000.
+            match s.temporal.hottest() {
+                Some(h) => check(
+                    (LOG_REGION.0..LOG_REGION.1).contains(&h.sector),
+                    "combined-syslog-hot-spot",
+                    format!(
+                        "hottest sector {} outside the log block group [{}, {})",
+                        h.sector, LOG_REGION.0, LOG_REGION.1
+                    ),
+                ),
+                None => check(
+                    false,
+                    "combined-syslog-hot-spot",
+                    "no hot spots at all".into(),
+                ),
+            }
+            // And swap traffic in the band just under 400,000.
+            let swap_requests = s
+                .spatial
+                .bands
+                .iter()
+                .find(|b| b.start == SWAP_BAND_START)
+                .map_or(0, |b| b.requests);
+            check(
+                swap_requests > 0,
+                "combined-swap-band-active",
+                format!("no requests in the swap band starting at sector {SWAP_BAND_START}"),
+            );
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use essio_trace::analysis::TraceSummary;
+    use essio_trace::{Op, Origin, TraceRecord};
+
+    fn summary_of(recs: &[TraceRecord]) -> TraceSummary {
+        TraceSummary::compute(recs, 10_000_000, 1_000_000)
+    }
+
+    fn rec(ts: u64, sector: u32, kib: u16, op: Op) -> TraceRecord {
+        TraceRecord {
+            ts,
+            sector,
+            nsectors: kib * 2,
+            pending: 0,
+            node: 0,
+            op,
+            origin: Origin::Unknown,
+        }
+    }
+
+    #[test]
+    fn baseline_shape_accepts_writes_rejects_reads() {
+        let clean = summary_of(&[
+            rec(0, 45_000, 1, Op::Write),
+            rec(1, 45_000, 2, Op::Write),
+            rec(2, 999_000, 1, Op::Write),
+        ]);
+        assert!(check_shapes(ExperimentKind::Baseline, &clean).is_empty());
+
+        let dirty = summary_of(&[rec(0, 45_000, 1, Op::Read), rec(1, 45_000, 1, Op::Write)]);
+        let v = check_shapes(ExperimentKind::Baseline, &dirty);
+        assert!(v.iter().any(|x| x.check == "baseline-write-only"), "{v:?}");
+    }
+
+    #[test]
+    fn empty_trace_violates_everything() {
+        let v = check_shapes(ExperimentKind::Ppm, &summary_of(&[]));
+        assert!(v.iter().any(|x| x.check == "trace-nonempty"));
+    }
+
+    #[test]
+    fn violations_serialize_for_reports() {
+        let v = ShapeViolation {
+            check: "x".into(),
+            detail: "y".into(),
+        };
+        let json = serde_json::to_string(&v).unwrap();
+        assert!(json.contains("\"check\""));
+    }
+}

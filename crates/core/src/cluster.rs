@@ -558,12 +558,13 @@ impl Beowulf {
     }
 
     /// Collected trace records so far (drained incrementally during the
-    /// run; call after `run_*` for the full set). Sorted by timestamp.
+    /// run; call after `run_*` for the full set). Sorted by timestamp:
+    /// every drain sweep is emitted in `(ts, node, sector)` order and
+    /// sweeps never overlap in time, so the concatenation is the canonical
+    /// order — identical to what a live tap observed, record for record.
     pub fn take_trace(&mut self) -> Vec<TraceRecord> {
         self.drain_traces();
-        let mut t = std::mem::take(&mut self.trace);
-        t.sort_by_key(|r| (r.ts, r.node, r.sector));
-        t
+        std::mem::take(&mut self.trace)
     }
 
     /// Process exit records.
@@ -664,23 +665,30 @@ impl Beowulf {
         Some(report)
     }
 
+    /// Drain every node's kernel ring into the configured sinks, in
+    /// canonical order: the sweep is collected node-major, sorted by
+    /// `(ts, node, sector)`, then emitted. Sweeps never overlap in time
+    /// (a record produced after a drain carries a timestamp at or past the
+    /// drain instant), so concatenated sweeps are globally time-ordered —
+    /// a live tap and the batch trace see the exact same record sequence,
+    /// which is what lets streamed and batch runs fingerprint identically
+    /// in `essio-conform`.
     fn drain_traces(&mut self) {
-        if self.keep_trace {
-            // One reservation for the whole sweep instead of per-record
-            // doubling while the sinks push.
-            let pending: usize = self.nodes.iter().map(|n| n.kernel.trace_pending()).sum();
-            self.trace.reserve(pending);
+        let pending: usize = self.nodes.iter().map(|n| n.kernel.trace_pending()).sum();
+        if pending == 0 {
+            return;
         }
+        let mut sweep: Vec<TraceRecord> = Vec::with_capacity(pending);
         for n in self.nodes.iter_mut() {
-            let drained = match (&mut self.tap, self.keep_trace) {
-                (Some(tap), true) => {
-                    let mut tee = essio_trace::sink::Tee(tap.as_mut(), &mut self.trace);
-                    n.kernel.drain_trace_into(&mut tee)
-                }
-                (Some(tap), false) => n.kernel.drain_trace_into(tap.as_mut()),
-                (None, _) => n.kernel.drain_trace_into(&mut self.trace),
-            };
+            let drained = n.kernel.drain_trace_into(&mut sweep);
             self.records_drained += drained as u64;
+        }
+        sweep.sort_by_key(|r| (r.ts, r.node, r.sector));
+        if let Some(tap) = &mut self.tap {
+            tap.observe_all(&sweep);
+        }
+        if self.keep_trace {
+            self.trace.extend_from_slice(&sweep);
         }
     }
 

@@ -400,6 +400,53 @@ impl RunPerf {
     }
 }
 
+/// The canonical serialization of one run's observable outcome — the
+/// domain of `essio-conform` summary fingerprints.
+///
+/// Everything seed-deterministic about a run is included (experiment kind,
+/// topology, virtual duration, engine event and trace record counts,
+/// process exits, fault degradation, and the full [`TraceSummary`]);
+/// host-side measurements (`RunPerf::host_secs`) and the observability
+/// report are excluded because they vary run to run without the simulated
+/// behaviour changing. Field order is fixed here and every float is
+/// rendered with Rust's shortest-roundtrip formatting, so two behaviourally
+/// identical runs produce byte-identical JSON.
+///
+/// Shared by [`ExperimentResult::canonical_json`] and
+/// [`StreamedRun::canonical_json`] — batch and streamed runs of the same
+/// simulation canonicalize identically by construction. Exits are rendered
+/// as `[node, name, code, exit time µs]` rows in exit order.
+fn canonical_run_json(
+    kind: ExperimentKind,
+    nodes: u8,
+    duration: SimTime,
+    perf: &RunPerf,
+    exits: &[ProcExit],
+    degradation: &Degradation,
+    summary: &TraceSummary,
+) -> String {
+    use serde::{Serialize as _, Value};
+    let doc = Value::Object(vec![
+        ("kind".into(), kind.name().to_value()),
+        ("nodes".into(), nodes.to_value()),
+        ("duration_us".into(), duration.to_value()),
+        ("events".into(), perf.events.to_value()),
+        ("records".into(), perf.records.to_value()),
+        (
+            "exits".into(),
+            Value::Array(
+                exits
+                    .iter()
+                    .map(|e| (e.node as u64, e.name.as_str(), e.code as i64, e.at).to_value())
+                    .collect(),
+            ),
+        ),
+        ("degradation".into(), degradation.to_value()),
+        ("summary".into(), summary.to_value()),
+    ]);
+    serde_json::to_string(&doc).expect("canonical run serialization is infallible")
+}
+
 /// Metadata from a streaming run ([`Experiment::run_streamed`]): everything
 /// an [`ExperimentResult`] carries except the trace and its batch summary —
 /// those live in the caller's sink.
@@ -426,6 +473,22 @@ impl StreamedRun {
     /// Run duration in seconds.
     pub fn duration_s(&self) -> f64 {
         self.duration as f64 / 1e6
+    }
+
+    /// Canonical JSON of this run's deterministic outcome, given the
+    /// finalized summary the caller's sink produced (e.g.
+    /// `StreamSummary::finalize(run.duration)`). Byte-identical to
+    /// [`ExperimentResult::canonical_json`] for the same simulation.
+    pub fn canonical_json(&self, summary: &TraceSummary) -> String {
+        canonical_run_json(
+            self.kind,
+            self.nodes,
+            self.duration,
+            &self.perf,
+            &self.exits,
+            &self.degradation,
+            summary,
+        )
     }
 
     /// Did every process finish cleanly?
@@ -459,6 +522,22 @@ pub struct ExperimentResult {
 }
 
 impl ExperimentResult {
+    /// Canonical JSON of this run's deterministic outcome — what the
+    /// `essio-conform` summary fingerprint hashes. See [`StreamedRun::canonical_json`]
+    /// for the streaming twin; both render through the same
+    /// `CanonicalRun` document.
+    pub fn canonical_json(&self) -> String {
+        canonical_run_json(
+            self.kind,
+            self.nodes,
+            self.duration,
+            &self.perf,
+            &self.exits,
+            &self.degradation,
+            &self.summary,
+        )
+    }
+
     /// The records from one node's disk (figures plot a single disk).
     pub fn node_trace(&self, node: u8) -> Vec<TraceRecord> {
         self.trace
@@ -666,6 +745,23 @@ mod tests {
         let batch = Experiment::nbody().quick().seed(7).run();
         assert_eq!(run.perf.events, batch.perf.events);
         assert_eq!(run.perf.records, batch.perf.records);
+    }
+
+    #[test]
+    fn canonical_json_pins_behaviour_not_host_speed() {
+        let a = Experiment::nbody().quick().seed(7).run();
+        let b = Experiment::nbody().quick().seed(7).run();
+        // host_secs always differs between runs; the canonical form must not.
+        assert_ne!(a.perf.host_secs, b.perf.host_secs);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        let c = Experiment::nbody().quick().seed(8).run();
+        assert_ne!(a.canonical_json(), c.canonical_json());
+        // And the document carries the load-bearing fields.
+        let json = a.canonical_json();
+        for key in ["\"kind\"", "\"events\"", "\"exits\"", "\"summary\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains("host_secs"));
     }
 
     #[test]

@@ -85,19 +85,39 @@ pub fn encode(records: &[TraceRecord]) -> Bytes {
     let mut buf = BytesMut::with_capacity(MAGIC.len() + records.len() * RECORD_BYTES);
     buf.put_slice(&MAGIC);
     for r in records {
-        buf.put_u64_le(r.ts);
-        buf.put_u32_le(r.sector);
-        buf.put_u16_le(r.nsectors);
-        buf.put_u16_le(r.pending);
-        buf.put_u8(r.node);
-        buf.put_u8(match r.op {
-            Op::Read => 0,
-            Op::Write => 1,
-        });
-        buf.put_u8(r.origin as u8);
-        buf.put_u8(0); // pad to 20 bytes for alignment-friendly mmap readers
+        buf.put_slice(&canonical_record_bytes(r));
     }
     buf.freeze()
+}
+
+/// The canonical 20-byte wire form of one record — the byte sequence every
+/// fingerprint in `essio-conform` is defined over. Identical records always
+/// produce identical bytes (fixed little-endian layout, zero pad), and the
+/// record-at-a-time format is exactly [`MAGIC`] followed by these, so
+/// `canonical_bytes` == [`encode`] byte for byte.
+pub fn canonical_record_bytes(r: &TraceRecord) -> [u8; RECORD_BYTES] {
+    let mut b = [0u8; RECORD_BYTES];
+    b[0..8].copy_from_slice(&r.ts.to_le_bytes());
+    b[8..12].copy_from_slice(&r.sector.to_le_bytes());
+    b[12..14].copy_from_slice(&r.nsectors.to_le_bytes());
+    b[14..16].copy_from_slice(&r.pending.to_le_bytes());
+    b[16] = r.node;
+    b[17] = match r.op {
+        Op::Read => 0,
+        Op::Write => 1,
+    };
+    b[18] = r.origin as u8;
+    // b[19] stays 0: pad to 20 bytes for alignment-friendly mmap readers.
+    b
+}
+
+/// The canonical byte representation of a whole trace: the
+/// record-at-a-time binary encoding. Conformance fingerprints and
+/// divergence bisection hash these bytes; the columnar format is an
+/// *interchange* encoding that decodes back to the same records (and hence
+/// the same canonical bytes), never a fingerprint domain.
+pub fn canonical_bytes(records: &[TraceRecord]) -> Bytes {
+    encode(records)
 }
 
 /// Decode one 20-byte wire record. Shared by the whole-buffer [`decode`]
@@ -711,6 +731,21 @@ mod tests {
         assert_eq!(encoded.len(), MAGIC.len() + recs.len() * RECORD_BYTES);
         let decoded = decode(&encoded).unwrap();
         assert_eq!(decoded, recs);
+    }
+
+    #[test]
+    fn canonical_bytes_is_the_fixed_encoding() {
+        let recs = sample();
+        assert_eq!(canonical_bytes(&recs), encode(&recs));
+        let mut manual = MAGIC.to_vec();
+        for r in &recs {
+            manual.extend_from_slice(&canonical_record_bytes(r));
+        }
+        assert_eq!(canonical_bytes(&recs).as_ref(), &manual[..]);
+        // Per-record bytes roundtrip through the shared record decoder.
+        for r in &recs {
+            assert_eq!(decode_record(&canonical_record_bytes(r)).unwrap(), *r);
+        }
     }
 
     #[test]
